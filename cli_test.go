@@ -1,0 +1,253 @@
+package lucidscript
+
+// End-to-end CLI tests: the three binaries are built once into a temp dir
+// and exercised against small fixtures, verifying the full user-facing
+// workflow (run a script, standardize a script, regenerate an experiment).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "lucidscript-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"lsrun", "lsstd", "lsbench"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			cmd.Dir = "."
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v", buildErr)
+	}
+	return binDir
+}
+
+const cliCSV = `Glucose,SkinThickness,Age,Outcome
+148,35,50,1
+85,29,31,0
+183,,32,1
+89,23,21,0
+137,35,33,1
+116,25,30,0
+78,32,26,1
+115,,29,0
+`
+
+const cliScript = `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.median())
+`
+
+const cliCorpusScript = `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.mean())
+df = df[df["SkinThickness"] < 80]
+y = df["Outcome"]
+`
+
+func writeFixtures(t *testing.T) (dir, csv, scriptPath, corpusDir string) {
+	t.Helper()
+	dir = t.TempDir()
+	csv = filepath.Join(dir, "diabetes.csv")
+	if err := os.WriteFile(csv, []byte(cliCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scriptPath = filepath.Join(dir, "prep.ls")
+	if err := os.WriteFile(scriptPath, []byte(cliScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corpusDir = filepath.Join(dir, "corpus")
+	if err := os.Mkdir(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		name := filepath.Join(corpusDir, "s"+string(rune('a'+i))+".py")
+		if err := os.WriteFile(name, []byte(cliCorpusScript), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, csv, scriptPath, corpusDir
+}
+
+func TestLSRunCLI(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, _ := writeFixtures(t)
+	out, err := exec.Command(filepath.Join(bin, "lsrun"),
+		"-script", scriptPath, "-data", csv).Output()
+	if err != nil {
+		t.Fatalf("lsrun: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("lsrun output lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Glucose") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// Median fill applied: no empty SkinThickness cells remain.
+	for _, l := range lines[1:] {
+		if strings.Contains(l, ",,") {
+			t.Fatalf("null survived median fill: %q", l)
+		}
+	}
+}
+
+func TestLSRunCLIHead(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, _ := writeFixtures(t)
+	out, err := exec.Command(filepath.Join(bin, "lsrun"),
+		"-script", scriptPath, "-data", csv, "-head", "2").Output()
+	if err != nil {
+		t.Fatalf("lsrun: %v", err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(string(out)), "\n")); n != 3 {
+		t.Fatalf("head output lines = %d", n)
+	}
+}
+
+func TestLSRunCLIErrors(t *testing.T) {
+	bin := buildCLIs(t)
+	if err := exec.Command(filepath.Join(bin, "lsrun")).Run(); err == nil {
+		t.Fatal("missing flags should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ls")
+	_ = os.WriteFile(bad, []byte("df = ???"), 0o644)
+	csvPath := filepath.Join(dir, "d.csv")
+	_ = os.WriteFile(csvPath, []byte("a\n1\n"), 0o644)
+	if err := exec.Command(filepath.Join(bin, "lsrun"), "-script", bad, "-data", csvPath).Run(); err == nil {
+		t.Fatal("unparseable script should fail")
+	}
+}
+
+func TestLSStdCLI(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-measure", "jaccard", "-tau", "0.5", "-seq", "6")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("lsstd: %v\n%s", err, stderr.String())
+	}
+	src := string(out)
+	if !strings.Contains(src, "read_csv") {
+		t.Fatalf("output script missing load:\n%s", src)
+	}
+	if !strings.Contains(stderr.String(), "improvement") {
+		t.Fatalf("summary missing:\n%s", stderr.String())
+	}
+	// The corpus-standard outlier filter or target split should be added.
+	if !strings.Contains(src, "SkinThickness") && !strings.Contains(src, `y = df["Outcome"]`) {
+		t.Fatalf("no corpus step adopted:\n%s", src)
+	}
+}
+
+func TestLSStdCLIModelMeasure(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-measure", "model", "-target", "Outcome", "-tau", "10", "-seq", "4")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("lsstd model measure: %v\n%s", err, out)
+	}
+}
+
+func TestLSStdCLIErrors(t *testing.T) {
+	bin := buildCLIs(t)
+	if err := exec.Command(filepath.Join(bin, "lsstd")).Run(); err == nil {
+		t.Fatal("missing flags should fail")
+	}
+	_, csv, scriptPath, _ := writeFixtures(t)
+	empty := t.TempDir()
+	if err := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", empty, "-data", csv).Run(); err == nil {
+		t.Fatal("empty corpus dir should fail")
+	}
+}
+
+func TestLSBenchCLIListAndTable2(t *testing.T) {
+	bin := buildCLIs(t)
+	out, err := exec.Command(filepath.Join(bin, "lsbench"), "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "table5") || !strings.Contains(string(out), "fig9") {
+		t.Fatalf("list output:\n%s", out)
+	}
+	out2, err := exec.Command(filepath.Join(bin, "lsbench"), "-exp", "table2", "-q").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out2), "Table 2") {
+		t.Fatalf("table2 output:\n%s", out2)
+	}
+	if err := exec.Command(filepath.Join(bin, "lsbench"), "-exp", "nope").Run(); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestLSStdCLISaveLoadSpace(t *testing.T) {
+	bin := buildCLIs(t)
+	dir, csv, scriptPath, corpusDir := writeFixtures(t)
+	space := filepath.Join(dir, "space.json")
+	// Curate once and save.
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-tau", "0.5", "-seq", "4", "-save-space", space)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("save-space: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(space); err != nil {
+		t.Fatal("search space file missing")
+	}
+	// Reuse without the corpus directory.
+	cmd2 := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-load-space", space, "-data", csv,
+		"-tau", "0.5", "-seq", "4")
+	out2, err := cmd2.Output()
+	if err != nil {
+		t.Fatalf("load-space: %v", err)
+	}
+	if !strings.Contains(string(out2), "read_csv") {
+		t.Fatalf("load-space output:\n%s", out2)
+	}
+}
+
+func TestLSStdCLILint(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	out, err := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-lint", "-lint-freq", "0.3").Output()
+	if err != nil {
+		t.Fatalf("lsstd -lint: %v", err)
+	}
+	// The fixture input uses median fill, absent from the corpus.
+	if !strings.Contains(string(out), "median") {
+		t.Fatalf("lint should flag the median fill:\n%s", out)
+	}
+}

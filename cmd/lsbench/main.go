@@ -1,0 +1,82 @@
+// Command lsbench regenerates the tables and figures of the paper's
+// evaluation against the synthetic competitions.
+//
+// Usage:
+//
+//	lsbench -exp table5            # one experiment
+//	lsbench -exp all               # everything, in paper order
+//	lsbench -list                  # list experiments
+//	lsbench -exp fig6 -scripts 10 -rowscale 0.05 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lucidscript/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (e.g. table5, fig9) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Int64("seed", 1, "random seed")
+		rowScale = flag.Float64("rowscale", 0.02, "fraction of each competition's full tuple count")
+		minRows  = flag.Int("minrows", 240, "minimum rows per dataset")
+		scripts  = flag.Int("scripts", 6, "input scripts per dataset (leave-one-out cap)")
+		seq      = flag.Int("seq", 0, "override sequence length (0 = default 16)")
+		beam     = flag.Int("beam", 0, "override beam size (0 = default 3)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %-9s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Seed:              *seed,
+		RowScale:          *rowScale,
+		MinRows:           *minRows,
+		ScriptsPerDataset: *scripts,
+		SeqLength:         *seq,
+		BeamSize:          *beam,
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e, err := bench.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		t, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", t.Render())
+		fmt.Printf("[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,177 @@
+// Command lsstd standardizes a user's data-preparation script against a
+// corpus of scripts processing the same dataset, printing the standardized
+// script to stdout and a change summary to stderr.
+//
+// Usage:
+//
+//	lsstd -script my_prep.ls -corpus scripts_dir -data diabetes.csv \
+//	      [-measure jaccard|model] [-tau 0.9] [-target Outcome] \
+//	      [-seq 16] [-beam 3] [-auto]
+//
+// The corpus directory is scanned for *.ls and *.py files (straight-line
+// pandas-style scripts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lucidscript"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		scriptPath = flag.String("script", "", "path to the input LSL script (required)")
+		corpusDir  = flag.String("corpus", "", "directory of corpus scripts (required unless -load-space)")
+		saveSpace  = flag.String("save-space", "", "write the curated search space to this file")
+		loadSpace  = flag.String("load-space", "", "load a search space written by -save-space instead of curating -corpus")
+		measure    = flag.String("measure", "jaccard", "user-intent measure: jaccard or model")
+		tau        = flag.Float64("tau", 0, "intent threshold (default 0.9 jaccard / 1% model)")
+		target     = flag.String("target", "", "label column (required for -measure model)")
+		seq        = flag.Int("seq", 0, "max transformations (default 16)")
+		beam       = flag.Int("beam", 0, "beam size (default 3)")
+		auto       = flag.Bool("auto", false, "derive seq/beam from corpus statistics (Table 2)")
+		lint       = flag.Bool("lint", false, "only report out-of-the-ordinary steps, do not transform")
+		lintFreq   = flag.Float64("lint-freq", 0.1, "flag steps used by fewer than this fraction of corpus scripts")
+		seed       = flag.Int64("seed", 1, "random seed")
+		dataPaths  stringList
+	)
+	flag.Var(&dataPaths, "data", "CSV data file (repeatable)")
+	flag.Parse()
+
+	if *scriptPath == "" || (*corpusDir == "" && *loadSpace == "") || len(dataPaths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lsstd -script prep.ls (-corpus dir | -load-space file) -data file.csv")
+		os.Exit(2)
+	}
+
+	srcBytes, err := os.ReadFile(*scriptPath)
+	if err != nil {
+		fatal(err)
+	}
+	input, err := lucidscript.ParseScript(string(srcBytes))
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *scriptPath, err))
+	}
+
+	sources := map[string]*lucidscript.Frame{}
+	for _, p := range dataPaths {
+		f, err := lucidscript.ReadCSVFile(p)
+		if err != nil {
+			fatal(fmt.Errorf("loading %s: %w", p, err))
+		}
+		sources[filepath.Base(p)] = f
+	}
+
+	opts := lucidscript.Options{
+		SeqLength:    *seq,
+		BeamSize:     *beam,
+		Measure:      lucidscript.IntentMeasure(*measure),
+		Tau:          *tau,
+		TargetColumn: *target,
+		Auto:         *auto,
+		Seed:         *seed,
+	}
+	var sys *lucidscript.System
+	if *loadSpace != "" {
+		fh, err := os.Open(*loadSpace)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = lucidscript.LoadSystem(fh, sources, opts)
+		fh.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		corpus, err := loadCorpus(*corpusDir)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = lucidscript.NewSystem(corpus, sources, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveSpace != "" {
+		fh, err := os.Create(*saveSpace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.SaveSearchSpace(fh); err != nil {
+			fatal(err)
+		}
+		fh.Close()
+		fmt.Fprintf(os.Stderr, "search space written to %s\n", *saveSpace)
+	}
+	stats := sys.Stats()
+	fmt.Fprintf(os.Stderr, "corpus: %d scripts, %d unique 1-grams, %d n-grams, %d edges\n",
+		stats.Scripts, stats.UniqueUnigrams, stats.UniqueNgrams, stats.UniqueEdges)
+
+	if *lint {
+		fmt.Print(sys.AnomalyReport(input, *lintFreq))
+		return
+	}
+
+	res, err := sys.Standardize(input)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Script.Source())
+	fmt.Fprintf(os.Stderr, "RE: %.3f -> %.3f (%.1f%% improvement), intent %.3f\n",
+		res.REBefore, res.REAfter, res.ImprovementPct, res.IntentValue)
+	for _, tr := range res.Transformations {
+		fmt.Fprintln(os.Stderr, "  "+tr)
+	}
+}
+
+func loadCorpus(dir string) ([]*lucidscript.Script, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".ls") || strings.HasSuffix(e.Name(), ".py") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var corpus []*lucidscript.Script
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		s, err := lucidscript.ParseScript(string(b))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", n, err)
+			continue
+		}
+		corpus = append(corpus, s)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("no parseable scripts in %s", dir)
+	}
+	return corpus, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsstd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package lucidscript_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lucidscript"
+)
+
+// Example_standardize reproduces the paper's running example (Figures
+// 1a/1b) in miniature: Alex's median-imputation draft is standardized
+// against a corpus that prefers mean imputation, SkinThickness outlier
+// filtering and a target split.
+func Example_standardize() {
+	const data = `Glucose,SkinThickness,Age,Outcome
+148,35,50,1
+85,29,31,0
+183,,32,1
+89,23,21,0
+137,35,33,1
+116,25,30,0
+78,32,26,1
+115,,29,0
+197,45,53,1
+125,96,54,1
+110,37,30,0
+168,15,34,1
+`
+	const corpusSrc = `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.mean())
+df = df[df["SkinThickness"] < 80]
+y = df["Outcome"]
+`
+	frame, err := lucidscript.ReadCSV(strings.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var corpus []*lucidscript.Script
+	for i := 0; i < 5; i++ {
+		s, err := lucidscript.ParseScript(corpusSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corpus = append(corpus, s)
+	}
+	sys, err := lucidscript.NewSystem(corpus,
+		map[string]*lucidscript.Frame{"diabetes.csv": frame},
+		lucidscript.Options{Measure: lucidscript.IntentJaccard, Tau: 0.5, SeqLength: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	input, err := lucidscript.ParseScript(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.median())
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Standardize(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Script.Source())
+	fmt.Printf("improved: %v\n", res.ImprovementPct > 0)
+	// Output:
+	// import pandas as pd
+	// df = pd.read_csv("diabetes.csv")
+	// df = df.fillna(df.mean())
+	// df = df[df["SkinThickness"] < 80]
+	// y = df["Outcome"]
+	// improved: true
+}
+
+// Example_lemmatize shows the canonicalization step: different variable
+// names and import aliases for the same pipeline lemmatize identically.
+func Example_lemmatize() {
+	a, _ := lucidscript.ParseScript("import pandas\ntrain = pandas.read_csv(\"x.csv\")\ntrain = train.dropna()\n")
+	b, _ := lucidscript.ParseScript("import pandas as pd\ndata = pd.read_csv(\"x.csv\")\ndata = data.dropna()\n")
+	fmt.Print(lucidscript.Lemmatize(a).Source())
+	fmt.Println(lucidscript.Lemmatize(a).Source() == lucidscript.Lemmatize(b).Source())
+	// Output:
+	// import pandas as pd
+	// df = pd.read_csv("x.csv")
+	// df = df.dropna()
+	// true
+}

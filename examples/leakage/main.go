@@ -1,0 +1,72 @@
+// Target-leakage detection (the paper's Section 6.6, Figures 8-9): a
+// leakage snippet — a noisy duplicate of the target column — is injected
+// into a clean script. Because the injected atoms never occur in the
+// corpus, they dominate the script's relative entropy, and standardization
+// under the model-performance constraint removes them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lucidscript"
+	"lucidscript/internal/corpusgen"
+	"lucidscript/internal/leakage"
+)
+
+const cleanScript = `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.mean())
+df = pd.get_dummies(df)
+y = df["Outcome"]
+X = df.drop("Outcome", axis=1)
+`
+
+func main() {
+	comp, err := corpusgen.Get("Medical")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := comp.Generate(corpusgen.GenOptions{Seed: 3, RowScale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := lucidscript.ParseScript(cleanScript)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj, err := leakage.Inject(clean, "Outcome", leakage.NoisyDup, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== input script with injected target leakage (Figure 8, left) ===")
+	fmt.Print(inj.Script.Source())
+	fmt.Println("\ninjected ground-truth lines:")
+	for _, l := range inj.Lines {
+		fmt.Println("  " + l)
+	}
+
+	sys, err := lucidscript.NewSystem(gen.ScriptsOnly(), gen.Sources, lucidscript.Options{
+		SeqLength:    8,
+		Measure:      lucidscript.IntentModel,
+		Tau:          5,
+		TargetColumn: "Outcome",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Standardize(inj.Script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== standardized output (Figure 8, right) ===")
+	fmt.Print(res.Script.Source())
+	fmt.Printf("\nRE %.3f -> %.3f (%.1f%% improvement), Δ_M = %.2f%%\n",
+		res.REBefore, res.REAfter, res.ImprovementPct, res.IntentValue)
+	if inj.Removed(res.Script) {
+		fmt.Println("target leakage DETECTED: every injected line was removed")
+	} else {
+		fmt.Printf("leakage partially removed: %d/%d injected lines gone\n",
+			inj.RemovedCount(res.Script), len(inj.Lines))
+	}
+}

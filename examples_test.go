@@ -1,0 +1,68 @@
+package lucidscript
+
+// Smoke tests for the runnable examples: each is executed end to end and
+// its key output lines are checked. Skipped with -short (the corpora take
+// a few seconds to generate at example scale).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./examples/"+dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	if !strings.Contains(out, "Standardized output") || !strings.Contains(out, "improvement") {
+		t.Fatalf("quickstart output:\n%s", out)
+	}
+	if !strings.Contains(out, "intent preserved") {
+		t.Fatal("missing intent line")
+	}
+}
+
+func TestExampleTitanic(t *testing.T) {
+	out := runExample(t, "titanic")
+	if !strings.Contains(out, "standardized output") || !strings.Contains(out, "Δ_M") {
+		t.Fatalf("titanic output:\n%s", out)
+	}
+}
+
+func TestExampleLeakage(t *testing.T) {
+	out := runExample(t, "leakage")
+	if !strings.Contains(out, "DETECTED") && !strings.Contains(out, "partially removed") {
+		t.Fatalf("leakage output:\n%s", out)
+	}
+}
+
+func TestExampleCrossdataset(t *testing.T) {
+	out := runExample(t, "crossdataset")
+	if !strings.Contains(out, "standardized with the Titanic corpus") {
+		t.Fatalf("crossdataset output:\n%s", out)
+	}
+}
+
+func TestExamplePareto(t *testing.T) {
+	out := runExample(t, "pareto")
+	if !strings.Contains(out, "trade-off") || !strings.Contains(out, "explanations") {
+		t.Fatalf("pareto output:\n%s", out)
+	}
+}
+
+func TestExampleFairness(t *testing.T) {
+	out := runExample(t, "fairness")
+	if !strings.Contains(out, "demographic-parity gap") {
+		t.Fatalf("fairness output:\n%s", out)
+	}
+}

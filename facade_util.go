@@ -1,0 +1,14 @@
+package lucidscript
+
+import (
+	"lucidscript/internal/dag"
+	"lucidscript/internal/script"
+)
+
+// buildGraph converts a script into its DAG representation.
+func buildGraph(sc *script.Script) *dag.Graph { return dag.Build(sc) }
+
+// Lemmatize returns the canonical (lemmatized) form of a script: module
+// aliases become pd/np and dataframe variables adopt canonical names, so
+// syntactically different but semantically equivalent scripts compare equal.
+func Lemmatize(sc *Script) *Script { return dag.Lemmatize(sc) }

@@ -1,0 +1,3 @@
+module lucidscript
+
+go 1.22

@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"lucidscript/internal/baselines"
+	"lucidscript/internal/core"
+	"lucidscript/internal/corpusgen"
+	"lucidscript/internal/dag"
+	"lucidscript/internal/entropy"
+	"lucidscript/internal/frame"
+	"lucidscript/internal/intent"
+	"lucidscript/internal/interp"
+	"lucidscript/internal/script"
+)
+
+// Table2 reproduces the parameterization table: recommended seq and K by
+// corpus size and diversity (it is a property of AutoConfig, so this is a
+// direct print plus a consistency check against the live function).
+func Table2(opts Options) (*Table, error) {
+	t := &Table{
+		Title:  "Table 2: parameterization by corpus properties",
+		Header: []string{"corpus size", "corpus diversity", "seq", "K"},
+	}
+	cases := []struct {
+		scripts, edges int
+		large, diverse string
+	}{
+		{20, 400, "# scripts > 10", "# uniq edges > 300"},
+		{20, 200, "# scripts > 10", "# uniq edges <= 300"},
+		{8, 400, "# scripts <= 10", "# uniq edges > 300"},
+		{8, 200, "# scripts <= 10", "# uniq edges <= 300"},
+	}
+	for _, c := range cases {
+		seq, k := core.AutoConfig(c.scripts, c.edges)
+		t.Rows = append(t.Rows, []string{c.large, c.diverse, strconv.Itoa(seq), strconv.Itoa(k)})
+	}
+	return t, nil
+}
+
+// Table3 reproduces the dataset & DAG statistics table over the six
+// synthetic competitions.
+func Table3(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	cache := newGenCache(opts)
+	t := &Table{
+		Title:  fmt.Sprintf("Table 3: examined datasets and their DAG statistics (RowScale=%.3f)", opts.RowScale),
+		Header: []string{"Statistics", "Titanic", "House", "NLP", "Spaceship", "Medical", "Sales"},
+	}
+	rows := map[string][]string{}
+	order := []string{"Scripts", "Data files", "Data tuples (k)", "Data features", "Avg # code lines", "Uniq. 1-grams", "Uniq. n-grams", "Uniq. edges"}
+	for _, name := range order {
+		rows[name] = []string{name}
+	}
+	for _, name := range corpusgen.Names() {
+		opts.logf("table3: %s", name)
+		gen, err := cache.get(name)
+		if err != nil {
+			return nil, err
+		}
+		v := corpusVocab(gen.ScriptsOnly())
+		lines := 0
+		for _, s := range gen.ScriptsOnly() {
+			lines += s.NumStmts()
+		}
+		f := gen.Sources[gen.Competition.File]
+		rows["Scripts"] = append(rows["Scripts"], strconv.Itoa(len(gen.Scripts)))
+		rows["Data files"] = append(rows["Data files"], strconv.Itoa(len(gen.Sources)))
+		rows["Data tuples (k)"] = append(rows["Data tuples (k)"], fmt.Sprintf("%.1f", float64(f.NumRows())/1000))
+		rows["Data features"] = append(rows["Data features"], strconv.Itoa(f.NumCols()-1))
+		rows["Avg # code lines"] = append(rows["Avg # code lines"], strconv.Itoa(lines/len(gen.Scripts)))
+		rows["Uniq. 1-grams"] = append(rows["Uniq. 1-grams"], strconv.Itoa(v.NumUniqueUnigrams()))
+		rows["Uniq. n-grams"] = append(rows["Uniq. n-grams"], strconv.Itoa(v.NumUniqueLines()))
+		rows["Uniq. edges"] = append(rows["Uniq. edges"], strconv.Itoa(v.NumUniqueEdges()))
+	}
+	for _, name := range order {
+		t.Rows = append(t.Rows, rows[name])
+	}
+	return t, nil
+}
+
+// Table4 reproduces the metric-evaluation case study: a minimal Titanic
+// input script and two progressively more standard outputs, with their RE,
+// Δ_J and Δ_M.
+func Table4(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	cache := newGenCache(opts)
+	gen, err := cache.get("Titanic")
+	if err != nil {
+		return nil, err
+	}
+	vocab := corpusVocab(gen.ScriptsOnly())
+	// The trio mirrors the paper's progression (each output adds steps that
+	// are common in the corpus); the concrete steps differ where the
+	// synthetic corpus's common adjacencies differ from real Kaggle
+	// (EXPERIMENTS.md records the deviation).
+	su := script.MustParse(`import pandas as pd
+df = pd.read_csv("train.csv")
+`)
+	s1 := script.MustParse(`import pandas as pd
+df = pd.read_csv("train.csv")
+df["Age"] = df["Age"].fillna(df["Age"].mean())
+`)
+	s2 := script.MustParse(`import pandas as pd
+df = pd.read_csv("train.csv")
+df["Age"] = df["Age"].fillna(df["Age"].mean())
+df["Sex"] = df["Sex"].map({"male": 0, "female": 1})
+df = df.drop(["Name", "Ticket", "Cabin"], axis=1)
+df = pd.get_dummies(df)
+y = df["Survived"]
+X = df.drop("Survived", axis=1)
+`)
+	mc := intent.ModelConfig{Target: "Survived"}
+	base, err := interp.Run(su, gen.Sources, interp.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 4: case study for metrics evaluation (Titanic)",
+		Header: []string{"Script", "RE", "ΔJ", "ΔM (%)"},
+	}
+	for _, row := range []struct {
+		name string
+		s    *script.Script
+	}{{"s_u (load only)", su}, {"s_1 (+ imputation)", s1}, {"s_2 (full pipeline)", s2}} {
+		run, err := interp.Run(row.s, gen.Sources, interp.Options{Seed: opts.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", row.name, err)
+		}
+		re := vocab.RE(dag.Build(row.s))
+		dj, err := intent.TableJaccard(base.Main, run.Main)
+		if err != nil {
+			return nil, err
+		}
+		dm, err := intent.ModelDelta(base.Main, run.Main, mc)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{row.name, fmt.Sprintf("%.2f", re), fmt.Sprintf("%.2f", dj), fmt.Sprintf("%.1f", dm)})
+	}
+	return t, nil
+}
+
+// Table5 reproduces the headline comparison: % improvement of LS under both
+// intent measures against the five baselines on the full corpus, plus the
+// small / different / low-ranked corpus scenarios for LS.
+func Table5(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	cache := newGenCache(opts)
+	t := &Table{
+		Title:  fmt.Sprintf("Table 5: %% improvement (τJ=0.9, τM=1%%), %d scripts/dataset", opts.ScriptsPerDataset),
+		Header: []string{"Corpus setup", "Method", "min", "median", "max", "mean"},
+	}
+	addRow := func(setup, method string, vals []float64) {
+		lo, hi := minMax(vals)
+		t.Rows = append(t.Rows, []string{setup, method, fmtF(lo), fmtF(median(vals)), fmtF(hi), fmtF(mean(vals))})
+	}
+
+	// ---- Full-size corpus: LS(τJ) and LS(τM) share one search per input.
+	var lsJ, lsM []float64
+	gptImps := map[string][]float64{}
+	zeroMethods := []baselines.Method{baselines.Sourcery{}, baselines.AutoSuggest{}, baselines.AutoTables{}}
+	zeroImps := map[string][]float64{}
+	for _, name := range opts.Datasets {
+		gen, err := cache.get(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.logf("table5/full: %s", name)
+		constraints := []intent.Constraint{
+			{Measure: intent.MeasureJaccard, Tau: 0.9},
+			{Measure: intent.MeasureModel, Tau: 1, Model: intent.ModelConfig{Target: gen.Competition.Target}},
+		}
+		inputs := gen.ScriptsOnly()
+		if opts.ScriptsPerDataset > 0 && len(inputs) > opts.ScriptsPerDataset {
+			inputs = inputs[:opts.ScriptsPerDataset]
+		}
+		for i, su := range inputs {
+			var rest []*script.Script
+			for j, other := range gen.ScriptsOnly() {
+				if j != i {
+					rest = append(rest, other)
+				}
+			}
+			cfg := lsConfig(opts, intent.MeasureJaccard, 0.9, "")
+			std := core.New(rest, gen.Sources, cfg)
+			grid, err := std.StandardizeGrid(su, []int{cfg.SeqLength}, constraints)
+			if err != nil {
+				opts.logf("  %s script %d skipped: %v", name, i, err)
+				continue
+			}
+			lsJ = append(lsJ, grid[0][0].ImprovementPct)
+			lsM = append(lsM, grid[0][1].ImprovementPct)
+
+			// Baselines against the same leave-one-out vocabulary.
+			vocab := corpusVocab(rest)
+			before := vocab.RE(dag.Build(su))
+			for _, ver := range []baselines.GPTVersion{baselines.GPT35, baselines.GPT4} {
+				g := baselines.NewSimGPT(ver, opts.Seed+int64(i), gen.Sources[gen.Competition.File], gen.Competition.Target).WithExamples(rest)
+				out, err := g.Rewrite(su)
+				if err != nil {
+					continue
+				}
+				after := vocab.RE(dag.Build(out))
+				gptImps[g.Name()] = append(gptImps[g.Name()], entropy.Improvement(before, after))
+			}
+			for _, m := range zeroMethods {
+				out, err := m.Rewrite(su)
+				if err != nil {
+					continue
+				}
+				after := vocab.RE(dag.Build(out))
+				zeroImps[m.Name()] = append(zeroImps[m.Name()], entropy.Improvement(before, after))
+			}
+		}
+	}
+	addRow("Full-size corpus", "LS (τJ)", lsJ)
+	addRow("Full-size corpus", "LS (τM)", lsM)
+	addRow("Full-size corpus", "GPT-3.5", gptImps["GPT-3.5"])
+	addRow("Full-size corpus", "GPT-4", gptImps["GPT-4"])
+	for _, m := range zeroMethods {
+		addRow("Full-size corpus", m.Name(), zeroImps[m.Name()])
+	}
+
+	// ---- Small corpus (10 scripts).
+	smallJ, smallM := runScenario(opts, cache, func(gen *corpusgen.Generated) ([]*script.Script, map[string]*frame.Frame) {
+		return gen.Sample(10, opts.Seed), nil
+	})
+	addRow("Small corpus", "LS (τJ)", smallJ)
+	addRow("Small corpus", "LS (τM)", smallM)
+
+	// ---- Different corpus: Spaceship inputs with the Titanic corpus.
+	diffJ, diffM, err := crossDataset(opts, cache)
+	if err != nil {
+		return nil, err
+	}
+	addRow("Different corpus", "LS (τJ)", diffJ)
+	addRow("Different corpus", "LS (τM)", diffM)
+
+	// ---- Low-ranked corpus (bottom 30% by votes).
+	lowJ, lowM := runScenario(opts, cache, func(gen *corpusgen.Generated) ([]*script.Script, map[string]*frame.Frame) {
+		return gen.LowRanked(0.3), nil
+	})
+	addRow("Low-ranked corpus", "LS (τJ)", lowJ)
+	addRow("Low-ranked corpus", "LS (τM)", lowM)
+	return t, nil
+}
+
+// runScenario runs the leave-in corpus scenario (the corpus is a fixed
+// subset rather than leave-one-out) over all datasets, returning pooled
+// improvements for τJ and τM.
+func runScenario(opts Options, cache *genCache, pick func(*corpusgen.Generated) ([]*script.Script, map[string]*frame.Frame)) (lsJ, lsM []float64) {
+	for _, name := range opts.Datasets {
+		gen, err := cache.get(name)
+		if err != nil {
+			continue
+		}
+		opts.logf("table5/scenario: %s", name)
+		corpus, sources := pick(gen)
+		if sources == nil {
+			sources = gen.Sources
+		}
+		constraints := []intent.Constraint{
+			{Measure: intent.MeasureJaccard, Tau: 0.9},
+			{Measure: intent.MeasureModel, Tau: 1, Model: intent.ModelConfig{Target: gen.Competition.Target}},
+		}
+		inputs := gen.ScriptsOnly()
+		if opts.ScriptsPerDataset > 0 && len(inputs) > opts.ScriptsPerDataset {
+			inputs = inputs[:opts.ScriptsPerDataset]
+		}
+		cfg := lsConfig(opts, intent.MeasureJaccard, 0.9, "")
+		std := core.New(corpus, sources, cfg)
+		for i, su := range inputs {
+			grid, err := std.StandardizeGrid(su, []int{cfg.SeqLength}, constraints)
+			if err != nil {
+				opts.logf("  %s script %d skipped: %v", name, i, err)
+				continue
+			}
+			lsJ = append(lsJ, grid[0][0].ImprovementPct)
+			lsM = append(lsM, grid[0][1].ImprovementPct)
+		}
+	}
+	return lsJ, lsM
+}
+
+// crossDataset standardizes Spaceship inputs with the Titanic corpus.
+func crossDataset(opts Options, cache *genCache) (lsJ, lsM []float64, err error) {
+	space, err := cache.get("Spaceship")
+	if err != nil {
+		return nil, nil, err
+	}
+	titanic, err := cache.get("Titanic")
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.logf("table5/different: Spaceship inputs, Titanic corpus")
+	constraints := []intent.Constraint{
+		{Measure: intent.MeasureJaccard, Tau: 0.9},
+		{Measure: intent.MeasureModel, Tau: 1, Model: intent.ModelConfig{Target: space.Competition.Target}},
+	}
+	inputs := space.ScriptsOnly()
+	if opts.ScriptsPerDataset > 0 && len(inputs) > opts.ScriptsPerDataset {
+		inputs = inputs[:opts.ScriptsPerDataset]
+	}
+	cfg := lsConfig(opts, intent.MeasureJaccard, 0.9, "")
+	std := core.New(titanic.ScriptsOnly(), space.Sources, cfg)
+	for i, su := range inputs {
+		grid, err := std.StandardizeGrid(su, []int{cfg.SeqLength}, constraints)
+		if err != nil {
+			opts.logf("  spaceship script %d skipped: %v", i, err)
+			continue
+		}
+		lsJ = append(lsJ, grid[0][0].ImprovementPct)
+		lsM = append(lsM, grid[0][1].ImprovementPct)
+	}
+	return lsJ, lsM, nil
+}

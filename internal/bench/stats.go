@@ -1,0 +1,127 @@
+package bench
+
+import "math"
+
+// mean returns the arithmetic mean (0 for empty input).
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// median returns the median (0 for empty input).
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := sortedCopy(vals)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// minMax returns the extrema (0,0 for empty input).
+func minMax(vals []float64) (float64, float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// stddev returns the sample standard deviation.
+func stddev(vals []float64) float64 {
+	n := len(vals)
+	if n < 2 {
+		return 0
+	}
+	m := mean(vals)
+	acc := 0.0
+	for _, v := range vals {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// welchT computes Welch's t statistic and a two-sided p-value for the
+// difference of means, using the normal approximation (adequate for the
+// ~34-rater panels of the user-study simulation).
+func welchT(a, b []float64) (t, p float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 1
+	}
+	ma, mb := mean(a), mean(b)
+	va, vb := stddev(a), stddev(b)
+	se := math.Sqrt(va*va/float64(len(a)) + vb*vb/float64(len(b)))
+	if se == 0 {
+		if ma == mb {
+			return 0, 1
+		}
+		return math.Inf(1), 0
+	}
+	t = (ma - mb) / se
+	p = 2 * (1 - normalCDF(math.Abs(t)))
+	return t, p
+}
+
+// normalCDF is the standard normal CDF.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// histogram buckets values into fixed-width bins over [lo, hi); values
+// outside clamp to the edge bins. Returns per-bin counts.
+func histogram(vals []float64, lo, hi float64, bins int) []int {
+	counts := make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return counts
+	}
+	w := (hi - lo) / float64(bins)
+	for _, v := range vals {
+		i := int((v - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// sparkline renders counts as a unicode bar row for text figures.
+func sparkline(counts []int) string {
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	out := make([]rune, len(counts))
+	for i, c := range counts {
+		idx := c * (len(glyphs) - 1) / max
+		out[i] = glyphs[idx]
+	}
+	return string(out)
+}

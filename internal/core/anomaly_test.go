@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lucidscript/internal/leakage"
+	"lucidscript/internal/script"
+)
+
+func TestDetectAnomaliesFlagsRareSteps(t *testing.T) {
+	st := newStandardizer(t, DefaultConfig())
+	su := script.MustParse(userScript) // median fill + age filter are rare
+	anomalies := st.DetectAnomalies(su, 0.2)
+	if len(anomalies) < 2 {
+		t.Fatalf("anomalies = %v", anomalies)
+	}
+	sources := map[string]bool{}
+	for _, a := range anomalies {
+		sources[a.Source] = true
+		if a.CorpusFrequency >= 0.2 {
+			t.Fatalf("frequent step flagged: %+v", a)
+		}
+	}
+	if !sources["df = df.fillna(df.median())"] {
+		t.Fatalf("median fill not flagged: %v", anomalies)
+	}
+	// Common steps are not flagged.
+	if sources["df = pd.get_dummies(df)"] {
+		t.Fatal("common encode step flagged")
+	}
+}
+
+func TestDetectAnomaliesSortedByGain(t *testing.T) {
+	st := newStandardizer(t, DefaultConfig())
+	anomalies := st.DetectAnomalies(script.MustParse(userScript), 0.5)
+	for i := 1; i < len(anomalies); i++ {
+		if anomalies[i].REGain > anomalies[i-1].REGain+1e-12 {
+			t.Fatalf("not sorted by gain: %v", anomalies)
+		}
+	}
+}
+
+func TestDetectAnomaliesOnLeakage(t *testing.T) {
+	st := newStandardizer(t, DefaultConfig())
+	inj, err := leakage.Inject(script.MustParse(userScript), "Outcome", leakage.TargetCopy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalies := st.DetectAnomalies(inj.Script, 0.1)
+	found := false
+	for _, a := range anomalies {
+		if strings.Contains(a.Source, "Outcome_copy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected leakage not flagged: %v", anomalies)
+	}
+}
+
+func TestDetectAnomaliesNeverFlagsLoad(t *testing.T) {
+	st := newStandardizer(t, DefaultConfig())
+	for _, a := range st.DetectAnomalies(script.MustParse(userScript), 1.0) {
+		if strings.Contains(a.Source, "read_csv") || strings.HasPrefix(a.Source, "import") {
+			t.Fatalf("load/import flagged: %+v", a)
+		}
+	}
+}
+
+func TestAnomalyReportRendering(t *testing.T) {
+	st := newStandardizer(t, DefaultConfig())
+	report := st.AnomalyReport(script.MustParse(userScript), 0.2)
+	if !strings.Contains(report, "out-of-the-ordinary") || !strings.Contains(report, "line ") {
+		t.Fatalf("report = %q", report)
+	}
+	clean := script.MustParse(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.mean())
+df = pd.get_dummies(df)
+`)
+	if got := st.AnomalyReport(clean, 0.2); !strings.Contains(got, "no out-of-the-ordinary") {
+		t.Fatalf("clean report = %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lucidscript/internal/dag"
+	"lucidscript/internal/intent"
+	"lucidscript/internal/script"
+)
+
+// Explanation justifies one applied transformation to the user, as outlined
+// in the paper's future-work discussion (Section 8): how common the step is
+// in the corpus, how it moved the standardness objective, and a rationale
+// derived from the step's role.
+type Explanation struct {
+	Transformation Transformation
+	// CorpusFrequency is the fraction of corpus scripts containing the atom.
+	CorpusFrequency float64
+	// REDelta is the relative-entropy change caused by this transformation
+	// (negative = more standard).
+	REDelta float64
+	// Rationale is a one-sentence human-readable justification.
+	Rationale string
+}
+
+// String renders the explanation.
+func (e Explanation) String() string {
+	return fmt.Sprintf("%s — %s (corpus frequency %.0f%%, RE %+.3f)",
+		e.Transformation, e.Rationale, e.CorpusFrequency*100, e.REDelta)
+}
+
+// ExplainResult reconstructs per-transformation explanations for a result:
+// the transformation sequence is replayed and each step's RE delta and
+// corpus frequency are reported.
+func (st *Standardizer) ExplainResult(res *Result) []Explanation {
+	// Replay: undo is not possible from the output alone, so rebuild from
+	// the recorded sequence. The Result carries the applied transformations
+	// in order; deltas come from re-scoring the intermediate sequences.
+	if len(res.Applied) == 0 {
+		return nil
+	}
+	// Recover the starting lines by inverting the transformations from the
+	// output: walk backwards, removing added atoms and restoring deleted
+	// ones.
+	lines := dag.Build(res.Output).Lines
+	for i := len(res.Applied) - 1; i >= 0; i-- {
+		tr := res.Applied[i]
+		switch tr.Type {
+		case TransformAdd:
+			if tr.Pos < len(lines) {
+				lines = append(append(lines[:0:0], lines[:tr.Pos]...), lines[tr.Pos+1:]...)
+			}
+		case TransformDelete:
+			restored := append(append(lines[:0:0], lines[:tr.Pos]...), tr.Atom)
+			lines = append(restored, lines[tr.Pos:]...)
+		}
+	}
+	prevRE := st.Vocab.RELines(lines)
+	out := make([]Explanation, 0, len(res.Applied))
+	for _, tr := range res.Applied {
+		switch tr.Type {
+		case TransformAdd:
+			lines = append(append(append(lines[:0:0], lines[:tr.Pos]...), tr.Atom), lines[tr.Pos:]...)
+		case TransformDelete:
+			lines = append(append(lines[:0:0], lines[:tr.Pos]...), lines[tr.Pos+1:]...)
+		}
+		re := st.Vocab.RELines(lines)
+		out = append(out, Explanation{
+			Transformation:  tr,
+			CorpusFrequency: st.atomFrequency(tr.Atom.Key),
+			REDelta:         re - prevRE,
+			Rationale:       st.rationale(tr),
+		})
+		prevRE = re
+	}
+	return out
+}
+
+func (st *Standardizer) atomFrequency(key string) float64 {
+	if st.Vocab.NumScripts == 0 {
+		return 0
+	}
+	n := st.Vocab.LineCounts[key]
+	if n > st.Vocab.NumScripts {
+		n = st.Vocab.NumScripts
+	}
+	return float64(n) / float64(st.Vocab.NumScripts)
+}
+
+// rationale derives a one-sentence justification from the atom's shape.
+func (st *Standardizer) rationale(tr Transformation) string {
+	key := tr.Atom.Key
+	freq := st.atomFrequency(key)
+	if tr.Type == TransformDelete {
+		if st.Vocab.LineCounts[key] == 0 {
+			return "removes a step that no corpus script uses (out-of-the-ordinary step)"
+		}
+		return fmt.Sprintf("removes a step used by only %.0f%% of corpus scripts", freq*100)
+	}
+	switch {
+	case strings.HasPrefix(key, "y =") || strings.HasPrefix(key, "X ="):
+		return fmt.Sprintf("adds the target split used by %.0f%% of corpus scripts", freq*100)
+	case strings.Contains(key, "fillna"):
+		return fmt.Sprintf("adds the imputation used by %.0f%% of corpus scripts", freq*100)
+	case strings.Contains(key, "get_dummies"):
+		return fmt.Sprintf("adds the encoding step used by %.0f%% of corpus scripts", freq*100)
+	case strings.Contains(key, "drop"):
+		return fmt.Sprintf("adds the column pruning used by %.0f%% of corpus scripts", freq*100)
+	case strings.Contains(key, "[") && strings.ContainsAny(key, "<>"):
+		return fmt.Sprintf("adds the outlier/row filter used by %.0f%% of corpus scripts", freq*100)
+	case strings.HasPrefix(key, "import"):
+		return "adds a module import required by common corpus steps"
+	default:
+		return fmt.Sprintf("adds a step used by %.0f%% of corpus scripts", freq*100)
+	}
+}
+
+// ParetoPoint is one (threshold, outcome) pair of the intent/standardness
+// trade-off curve (Section 8's proposed extension).
+type ParetoPoint struct {
+	// Tau is the intent threshold of this point.
+	Tau float64
+	// ImprovementPct is the standardness improvement achieved at Tau.
+	ImprovementPct float64
+	// IntentValue is the measured intent value of the accepted output.
+	IntentValue float64
+}
+
+// ParetoFrontier explores the user-intent threshold space with a single
+// beam search, returning the improvement achievable at each threshold.
+// Thresholds are interpreted by the configured measure (τ_J values in
+// [0,1] or τ_M percentages).
+func (st *Standardizer) ParetoFrontier(su *script.Script, taus []float64) ([]ParetoPoint, error) {
+	constraints := make([]intent.Constraint, len(taus))
+	for i, tau := range taus {
+		c := st.Config.Constraint
+		c.Tau = tau
+		constraints[i] = c
+	}
+	grid, err := st.StandardizeGrid(su, []int{st.Config.SeqLength}, constraints)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ParetoPoint, len(taus))
+	for i, tau := range taus {
+		points[i] = ParetoPoint{
+			Tau:            tau,
+			ImprovementPct: grid[0][i].ImprovementPct,
+			IntentValue:    grid[0][i].IntentValue,
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"lucidscript/internal/dag"
+	"lucidscript/internal/entropy"
+	"lucidscript/internal/frame"
+	"lucidscript/internal/intent"
+	"lucidscript/internal/interp"
+	"lucidscript/internal/script"
+)
+
+// ErrInputScriptFails is returned when the user's input script itself does
+// not execute against the input dataset.
+var ErrInputScriptFails = errors.New("core: input script does not execute")
+
+// Standardizer holds the curated search space for one corpus and dataset,
+// reusable across many input scripts (the offline phase of Section 5.1).
+type Standardizer struct {
+	Vocab   *entropy.Vocab
+	Sources map[string]*frame.Frame
+	Config  Config
+	// CurateTime records how long the offline phase took.
+	CurateTime time.Duration
+}
+
+// New curates the search space from corpus scripts (offline phase): each is
+// lemmatized and converted to its DAG, and the atom/edge vocabularies and
+// corpus distribution are built.
+func New(corpus []*script.Script, sources map[string]*frame.Frame, cfg Config) *Standardizer {
+	return NewWeighted(corpus, nil, sources, cfg)
+}
+
+// NewWeighted is New with per-script corpus weights (e.g. Kaggle votes, see
+// Section 8); a script with weight w counts as w copies in the corpus
+// distribution. Nil weights or non-positive entries default to 1.
+func NewWeighted(corpus []*script.Script, weights []int, sources map[string]*frame.Frame, cfg Config) *Standardizer {
+	start := time.Now()
+	graphs := make([]*dag.Graph, len(corpus))
+	for i, s := range corpus {
+		graphs[i] = dag.Build(s)
+	}
+	return &Standardizer{
+		Vocab:      entropy.BuildVocabWeighted(graphs, weights),
+		Sources:    sources,
+		Config:     cfg,
+		CurateTime: time.Since(start),
+	}
+}
+
+// Result reports one standardization run.
+type Result struct {
+	// Output is the standardized script ŝ_u (the input script when no
+	// constraint-satisfying improvement was found).
+	Output *script.Script
+	// REBefore and REAfter are the relative entropies of input and output.
+	REBefore, REAfter float64
+	// ImprovementPct is the paper's % improvement metric.
+	ImprovementPct float64
+	// IntentValue is the measured user-intent value of the output (Δ_J or Δ_M).
+	IntentValue float64
+	// Applied lists the accepted transformation sequence.
+	Applied []Transformation
+	// ExecChecks counts interpreter runs performed.
+	ExecChecks int
+	// Timings is the per-phase runtime breakdown (Figure 7).
+	Timings Timings
+}
+
+// Standardize runs Algorithm 1 on the input script.
+func (st *Standardizer) Standardize(su *script.Script) (*Result, error) {
+	grid, err := st.StandardizeGrid(su, []int{st.Config.SeqLength}, []intent.Constraint{st.Config.Constraint})
+	if err != nil {
+		return nil, err
+	}
+	return grid[0][0], nil
+}
+
+// StandardizeGrid runs the beam search once to the largest requested
+// sequence length and verifies its candidate archive under every (seq,
+// constraint) combination, returning one Result per grid cell indexed as
+// [seqIdx][constraintIdx].
+//
+// This is exact, not an approximation: the beam trajectory depends on
+// neither the remaining transformation budget nor the intent constraint
+// (which Algorithm 1 checks only in VerifyAllConstraints), so the candidate
+// set reachable within s steps of a longer run equals the final candidate
+// set of a seq=s run. The ablation and threshold sweeps of Figures 5, 6 and
+// 9 use this to share one search across all cells.
+func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constraints []intent.Constraint) ([][]*Result, error) {
+	cfg := st.Config
+	start := time.Now()
+	maxSeq := 0
+	for _, s := range seqs {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	var searchTimings Timings
+	searchTimings.CurateSearchSpace = st.CurateTime
+	execChecks := 0
+
+	// Lemmatize the input and compute its baseline.
+	g := dag.Build(su)
+	orig := &candidate{lines: g.Lines, re: st.Vocab.RELines(g.Lines)}
+
+	opts := interp.Options{Seed: cfg.Seed, MaxRows: cfg.MaxRows}
+	origRun, err := interp.Run(g.Script, st.Sources, opts)
+	execChecks++
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInputScriptFails, err)
+	}
+	if origRun.Main == nil {
+		return nil, fmt.Errorf("%w: script produces no dataset", ErrInputScriptFails)
+	}
+	orig.checked = true
+
+	// Beam loop: C starts as {s_u}; each iteration extends every candidate
+	// by one transformation and keeps the top K (Algorithms 1–3).
+	counter := &Result{}
+	beams := []*candidate{orig}
+	archive := []*candidate{orig}
+	globalSeen := map[string]bool{orig.key(): true}
+	for step := 0; step < maxSeq && len(beams) > 0; step++ {
+		var next []*candidate
+		if cfg.Workers > 1 && len(beams) > 1 {
+			next = st.extendAllParallel(beams, globalSeen, &searchTimings, counter)
+		} else {
+			seen := newSeenSet(globalSeen)
+			for _, cand := range beams {
+				next = st.extendOne(next, cand, seen, &searchTimings, counter)
+			}
+		}
+		for _, c := range next {
+			globalSeen[c.key()] = true
+		}
+		// Every admitted candidate enters the verification archive, not just
+		// the K that continue: with early checking they already executed,
+		// and a one-step candidate with a cheap intent footprint may satisfy
+		// a strict constraint that every deeper candidate violates.
+		archive = append(archive, next...)
+		beams = selectBeams(next, cfg.BeamSize)
+	}
+	searchTimings.CheckIfExecutes = counter.Timings.CheckIfExecutes
+	execChecks += counter.ExecChecks
+
+	// VerifyAllConstraints per grid cell, sharing candidate outputs and
+	// downstream-model accuracies across cells.
+	cache := newVerifyCache(origRun.Main)
+	results := make([][]*Result, len(seqs))
+	for si, seq := range seqs {
+		results[si] = make([]*Result, len(constraints))
+		var eligible []*candidate
+		for _, c := range archive {
+			if len(c.applied) <= seq {
+				eligible = append(eligible, c)
+			}
+		}
+		for ci, constraint := range constraints {
+			res := &Result{REBefore: orig.re, Timings: searchTimings, ExecChecks: execChecks}
+			t2 := time.Now()
+			best := st.verifyWith(eligible, orig, constraint, cache, res)
+			res.Timings.VerifyConstraints = time.Since(t2)
+			res.Output = dag.ToScript(best.lines)
+			res.REAfter = best.re
+			res.ImprovementPct = entropy.Improvement(res.REBefore, res.REAfter)
+			res.Applied = best.applied
+			res.Timings.Total = time.Since(start)
+			results[si][ci] = res
+		}
+	}
+	return results, nil
+}
+
+func less(a, b *candidate) bool {
+	if a.re != b.re {
+		return a.re < b.re
+	}
+	return a.key() < b.key()
+}
+
+// limitSteps bounds the ranked transformation list to the top `limit` adds
+// while keeping every delete: deletes are few, and pruning them would
+// starve the removal of out-of-the-ordinary blocks (Section 6.6) whose
+// payoff needs several chained deletes.
+func limitSteps(steps []Transformation, limit int) []Transformation {
+	if limit <= 0 || len(steps) <= limit {
+		return steps
+	}
+	out := make([]Transformation, 0, limit)
+	adds := 0
+	for _, s := range steps {
+		if s.Type == TransformDelete {
+			out = append(out, s)
+			continue
+		}
+		if adds < limit {
+			out = append(out, s)
+			adds++
+		}
+	}
+	return out
+}
+
+// selectBeams keeps the top K candidates, preserving lineage diversity:
+// the best child of every parent survives first (so a slow-payoff path such
+// as a chained delete is not evicted by a sibling lineage), then remaining
+// slots fill by global RE order.
+func selectBeams(next []*candidate, k int) []*candidate {
+	if len(next) <= k {
+		sort.Slice(next, func(i, j int) bool { return less(next[i], next[j]) })
+		return next
+	}
+	sort.Slice(next, func(i, j int) bool { return less(next[i], next[j]) })
+	var out []*candidate
+	taken := map[*candidate]bool{}
+	seenParent := map[*candidate]bool{}
+	for _, c := range next {
+		if len(out) >= k {
+			break
+		}
+		if seenParent[c.parent] {
+			continue
+		}
+		seenParent[c.parent] = true
+		taken[c] = true
+		out = append(out, c)
+	}
+	for _, c := range next {
+		if len(out) >= k {
+			break
+		}
+		if !taken[c] {
+			taken[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// extendBeams is Algorithm 2 (GetTopKBeams): it walks the ranked
+// transformations and admits a candidate when it would enter the current
+// top-K, verifying the execution constraint first when early checking is on.
+// extendOne runs GetSteps + (diverse) beam extension for one parent beam,
+// appending admitted candidates to next.
+func (st *Standardizer) extendOne(next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *Result) []*candidate {
+	cfg := st.Config
+	t0 := time.Now()
+	steps := getStepsOpt(cand, st.Vocab, !cfg.DisableLookahead)
+	timings.GetSteps += time.Since(t0)
+	steps = limitSteps(steps, cfg.StepLimit)
+	t1 := time.Now()
+	if cfg.Diversity {
+		clusters := clusterSteps(cand, steps, cfg.Clusters, st.Vocab)
+		per := cfg.BeamSize / cfg.Clusters
+		if per < 1 {
+			per = 1
+		}
+		for _, cl := range clusters {
+			next = st.extendBeams(next, cand, cl, per, seen, counter)
+		}
+	} else {
+		next = st.extendBeams(next, cand, steps, cfg.BeamSize, seen, counter)
+	}
+	timings.GetTopKBeams += time.Since(t1)
+	return next
+}
+
+// extendAllParallel extends every parent beam in its own goroutine
+// (Section 6.5's proposed parallelism). Each worker dedups against the
+// candidates admitted in earlier steps (the shared base set) plus its own
+// local admissions; results merge in parent order with a final cross-beam
+// dedup, so the outcome is deterministic for a fixed configuration.
+func (st *Standardizer) extendAllParallel(beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *Result) []*candidate {
+	n := len(beams)
+	results := make([][]*candidate, n)
+	perTimings := make([]Timings, n)
+	perCounter := make([]Result, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, st.Config.Workers)
+	for i, cand := range beams {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cand *candidate) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seen := newSeenSet(globalSeen)
+			results[i] = st.extendOne(nil, cand, seen, &perTimings[i], &perCounter[i])
+		}(i, cand)
+	}
+	wg.Wait()
+	var next []*candidate
+	merged := map[string]bool{}
+	for i := 0; i < n; i++ {
+		for _, c := range results[i] {
+			key := c.key()
+			if merged[key] {
+				continue
+			}
+			merged[key] = true
+			next = append(next, c)
+		}
+		// Wall-clock phases accumulate CPU time across workers; ExecChecks
+		// sum exactly.
+		timings.GetSteps += perTimings[i].GetSteps
+		timings.GetTopKBeams += perTimings[i].GetTopKBeams
+		counter.Timings.CheckIfExecutes += perCounter[i].Timings.CheckIfExecutes
+		counter.ExecChecks += perCounter[i].ExecChecks
+	}
+	return next
+}
+
+// seenSet is a two-level candidate de-duplication set: a shared read-only
+// base plus a local overlay, so parallel beam extensions can each dedup
+// against everything admitted in earlier steps without racing on one map.
+type seenSet struct {
+	base  map[string]bool
+	local map[string]bool
+}
+
+func newSeenSet(base map[string]bool) *seenSet {
+	return &seenSet{base: base, local: map[string]bool{}}
+}
+
+func (s *seenSet) has(key string) bool { return s.base[key] || s.local[key] }
+
+func (s *seenSet) add(key string) { s.local[key] = true }
+
+func (st *Standardizer) extendBeams(acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *Result) []*candidate {
+	admitted := 0
+	for _, tr := range steps {
+		if admitted >= k {
+			break
+		}
+		nc := cand.apply(tr, st.Vocab)
+		key := nc.key()
+		if seen.has(key) {
+			continue
+		}
+		if st.Config.EarlyCheck {
+			t0 := time.Now()
+			err := interp.CheckExecutes(dag.ToScript(nc.lines), st.Sources,
+				interp.Options{Seed: st.Config.Seed, MaxRows: st.Config.MaxRows})
+			res.Timings.CheckIfExecutes += time.Since(t0)
+			res.ExecChecks++
+			if err != nil {
+				continue
+			}
+			nc.checked = true
+		}
+		seen.add(key)
+		acc = append(acc, nc)
+		admitted++
+	}
+	return acc
+}
+
+// verifyCache shares candidate outputs and downstream-model accuracies
+// across the grid cells of one StandardizeGrid call, so threshold sweeps
+// pay for each execution and each model training exactly once.
+type verifyCache struct {
+	origOut *frame.Frame
+	// out maps candidates to their output frame (nil = failed to execute).
+	out map[*candidate]*frame.Frame
+	// acc memoizes downstream accuracy per candidate and model config key.
+	acc map[accKey]accVal
+	// origAcc memoizes the original output's accuracy per model config key.
+	origAcc map[string]accVal
+}
+
+type accKey struct {
+	cand *candidate
+	cfg  string
+}
+
+type accVal struct {
+	acc float64
+	err error
+}
+
+func newVerifyCache(origOut *frame.Frame) *verifyCache {
+	return &verifyCache{
+		origOut: origOut,
+		out:     map[*candidate]*frame.Frame{},
+		acc:     map[accKey]accVal{},
+		origAcc: map[string]accVal{},
+	}
+}
+
+func modelKey(m intent.ModelConfig) string {
+	return fmt.Sprintf("%s/%d/%g/%d", m.Target, m.Seed, m.TestFrac, m.Epochs)
+}
+
+// satisfied evaluates the constraint against a candidate's cached output,
+// memoizing model accuracies so Δ_M checks across thresholds reduce to
+// arithmetic after the first evaluation.
+func (vc *verifyCache) satisfied(constraint intent.Constraint, cand *candidate, out *frame.Frame) (bool, float64, error) {
+	if constraint.Measure != intent.MeasureModel {
+		return constraint.Satisfied(vc.origOut, out)
+	}
+	key := modelKey(constraint.Model)
+	ov, ok := vc.origAcc[key]
+	if !ok {
+		a, err := intent.ModelAccuracy(vc.origOut, constraint.Model)
+		ov = accVal{acc: a, err: err}
+		vc.origAcc[key] = ov
+	}
+	if ov.err != nil {
+		return false, 0, ov.err
+	}
+	ck := accKey{cand: cand, cfg: key}
+	cv, ok := vc.acc[ck]
+	if !ok {
+		a, err := intent.ModelAccuracy(out, constraint.Model)
+		cv = accVal{acc: a, err: err}
+		vc.acc[ck] = cv
+	}
+	if cv.err != nil {
+		return false, 0, cv.err
+	}
+	var delta float64
+	switch {
+	case ov.acc == 0 && cv.acc == 0:
+		delta = 0
+	case ov.acc == 0:
+		delta = 100
+	default:
+		delta = math.Abs(ov.acc-cv.acc) / ov.acc * 100
+	}
+	return delta <= constraint.Tau, delta, nil
+}
+
+// verifyWith implements VerifyAllConstraints: candidates are sorted by RE
+// and the best executable, intent-preserving one wins; the original script
+// is the fallback (improvement 0), matching the paper's guarantee that LS
+// never worsens standardness.
+func (st *Standardizer) verifyWith(archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) *candidate {
+	sorted := append([]*candidate(nil), archive...)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	checked := 0
+	for _, cand := range sorted {
+		if cand.re >= orig.re {
+			break // no remaining candidate can improve
+		}
+		if st.Config.VerifyLimit > 0 && checked >= st.Config.VerifyLimit {
+			break
+		}
+		checked++
+		out, cached := cache.out[cand]
+		if !cached {
+			run, err := interp.Run(dag.ToScript(cand.lines), st.Sources,
+				interp.Options{Seed: st.Config.Seed, MaxRows: st.Config.MaxRows})
+			res.ExecChecks++
+			if err != nil || run.Main == nil {
+				cache.out[cand] = nil
+				continue
+			}
+			out = run.Main
+			cache.out[cand] = out
+		}
+		if out == nil {
+			continue
+		}
+		ok, val, err := cache.satisfied(constraint, cand, out)
+		if err != nil || !ok {
+			continue
+		}
+		res.IntentValue = val
+		return cand
+	}
+	res.IntentValue = identityIntent(constraint)
+	return orig
+}
+
+// identityIntent is the intent value of returning the input unchanged.
+func identityIntent(c intent.Constraint) float64 {
+	switch c.Measure {
+	case intent.MeasureJaccard, intent.MeasureRowJaccard:
+		return 1 // identical outputs are maximally similar
+	default:
+		return 0 // zero accuracy change / zero transport distance
+	}
+}

@@ -1,0 +1,494 @@
+// Package corpusgen synthesizes the six Kaggle-style competitions of the
+// paper's evaluation (Table 3): for each competition it generates an input
+// dataset with the right shape and noise characteristics, and a corpus of
+// data-preparation scripts whose step popularity mirrors real corpora
+// (common steps in most scripts, rare steps in a few). The paper used real
+// Kaggle data and scripts; the algorithm consumes only corpus statistics
+// and executability, which the generators reproduce (see DESIGN.md).
+package corpusgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lucidscript/internal/frame"
+	"lucidscript/internal/script"
+)
+
+// ColKind identifies how a synthetic column is generated.
+type ColKind int
+
+// The synthetic column kinds.
+const (
+	// ColFloat draws uniformly from [Min, Max] (log-skewed when Skew).
+	ColFloat ColKind = iota
+	// ColInt draws integers uniformly from [Min, Max].
+	ColInt
+	// ColCat draws from Cats with geometric-ish weights.
+	ColCat
+	// ColText draws short pseudo-text strings (Cardinality distinct values).
+	ColText
+	// ColSeq emits sequential integers Min, Min+1, … (join keys for
+	// dimension tables: a main-file key drawn from [Min, Max] always finds
+	// its row when the dimension table enumerates the range).
+	ColSeq
+	// ColDate emits DD.MM.YYYY date strings drawn from years
+	// [Min, Max] (the Kaggle sales date format).
+	ColDate
+)
+
+// ColSpec describes one synthetic column.
+type ColSpec struct {
+	Name        string
+	Kind        ColKind
+	Min, Max    float64
+	Cats        []string
+	Cardinality int     // for ColText
+	NullRate    float64 // fraction of nulls
+	OutlierRate float64 // fraction of values drawn from the outlier range
+	OutlierMin  float64
+	OutlierMax  float64
+	Skew        bool
+}
+
+// StepTemplate is one data-preparation step observed in a competition's
+// corpus: a set of alternative concrete lines (variants), an inclusion
+// popularity, an ordering phase, and optional prerequisite templates.
+type StepTemplate struct {
+	// Variants are alternative source lines; the first is the most common
+	// realization and later ones are progressively rarer.
+	Variants []string
+	// Pop is the probability a (high-quality) script includes this step.
+	Pop float64
+	// Phase orders steps within a script: 0 imports, 1 load, 2 impute,
+	// 3 filter, 4 feature engineering, 5 encode, 6 target split.
+	Phase int
+	// Requires lists indices of templates that must also be included when
+	// this one is (e.g. get_dummies requires dropping high-cardinality
+	// string columns first).
+	Requires []int
+	// Rare steps are preferentially chosen by low-quality scripts.
+	Rare bool
+}
+
+// Competition describes one synthetic benchmark dataset plus its script
+// corpus model.
+type Competition struct {
+	Name    string
+	File    string
+	Target  string
+	NumRows int // full-size tuple count (Table 3, data tuples)
+	// NumScripts is the corpus size (Table 3, scripts).
+	NumScripts int
+	Schema     []ColSpec
+	Steps      []StepTemplate
+	// Extra are auxiliary data files some corpus scripts read (dimension
+	// tables, secondary splits); the paper's competitions ship 1–6 files
+	// each (Table 3).
+	Extra []ExtraFile
+	// targetFn derives the binary label from a row's numeric cell values.
+	targetFn func(vals map[string]float64, rng *rand.Rand) int
+}
+
+// ExtraFile is an auxiliary data file of a competition.
+type ExtraFile struct {
+	Name   string
+	Rows   int // full-size row count (scaled like the main file)
+	Schema []ColSpec
+	// NoScale keeps the file at full size regardless of RowScale —
+	// dimension tables must cover the main file's key range or merges
+	// would silently drop rows.
+	NoScale bool
+}
+
+// GeneratedScript is one corpus member with its simulated Kaggle vote count.
+type GeneratedScript struct {
+	Script *script.Script
+	// Votes simulates Kaggle upvotes; higher-quality scripts earn more.
+	Votes int
+	// Quality in [0,1] drove step selection (kept for analysis).
+	Quality float64
+}
+
+// Generated bundles everything a standardization experiment needs.
+type Generated struct {
+	Competition *Competition
+	// Sources maps the competition file name to the synthesized dataset.
+	Sources map[string]*frame.Frame
+	// Scripts is the corpus, ordered by generation index.
+	Scripts []GeneratedScript
+}
+
+// GenOptions controls generation.
+type GenOptions struct {
+	// Seed drives all randomness; a given (competition, seed, scale) is
+	// bit-reproducible.
+	Seed int64
+	// RowScale scales NumRows (0 means 1.0, full size).
+	RowScale float64
+	// MinRows floors the scaled row count (default 240).
+	MinRows int
+	// NumScripts overrides the corpus size when positive.
+	NumScripts int
+}
+
+func (o *GenOptions) defaults() {
+	if o.RowScale == 0 {
+		o.RowScale = 1
+	}
+	if o.MinRows == 0 {
+		o.MinRows = 240
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Names lists the competitions in the paper's Table 3 order.
+func Names() []string {
+	return []string{"Titanic", "House", "NLP", "Spaceship", "Medical", "Sales"}
+}
+
+// Get returns the named competition definition.
+func Get(name string) (*Competition, error) {
+	for _, c := range registry() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("corpusgen: unknown competition %q (have %v)", name, Names())
+}
+
+// All returns every competition definition in Table 3 order.
+func All() []*Competition { return registry() }
+
+// Generate synthesizes the dataset and corpus for the competition.
+func (c *Competition) Generate(opts GenOptions) (*Generated, error) {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed*1315423911 + int64(len(c.Name))))
+	rows := int(float64(c.NumRows) * opts.RowScale)
+	if rows < opts.MinRows {
+		rows = opts.MinRows
+	}
+	if rows > c.NumRows {
+		rows = c.NumRows
+	}
+	data, err := c.generateData(rows, rng)
+	if err != nil {
+		return nil, err
+	}
+	sources := map[string]*frame.Frame{c.File: data}
+	for _, ex := range c.Extra {
+		exRows := ex.Rows
+		if !ex.NoScale {
+			exRows = int(float64(ex.Rows) * opts.RowScale)
+			if exRows < opts.MinRows/4 {
+				exRows = opts.MinRows / 4
+			}
+			if exRows > ex.Rows {
+				exRows = ex.Rows
+			}
+		}
+		f := frame.New()
+		for _, spec := range ex.Schema {
+			s, _ := genColumn(spec, exRows, rng)
+			if err := f.AddColumn(s); err != nil {
+				return nil, err
+			}
+		}
+		sources[ex.Name] = f
+	}
+	n := c.NumScripts
+	if opts.NumScripts > 0 {
+		n = opts.NumScripts
+	}
+	scripts := make([]GeneratedScript, 0, n)
+	for i := 0; i < n; i++ {
+		gs, err := c.generateScript(rng)
+		if err != nil {
+			return nil, fmt.Errorf("corpusgen: %s script %d: %w", c.Name, i, err)
+		}
+		scripts = append(scripts, gs)
+	}
+	return &Generated{
+		Competition: c,
+		Sources:     sources,
+		Scripts:     scripts,
+	}, nil
+}
+
+// generateData synthesizes the dataset frame.
+func (c *Competition) generateData(rows int, rng *rand.Rand) (*frame.Frame, error) {
+	f := frame.New()
+	numeric := make(map[string][]float64, len(c.Schema))
+	for _, spec := range c.Schema {
+		s, nums := genColumn(spec, rows, rng)
+		if err := f.AddColumn(s); err != nil {
+			return nil, err
+		}
+		if nums != nil {
+			numeric[spec.Name] = nums
+		}
+	}
+	// Target column.
+	target := frame.NewEmptySeries(c.Target, frame.Int, rows)
+	vals := map[string]float64{}
+	for i := 0; i < rows; i++ {
+		for name, col := range numeric {
+			vals[name] = col[i]
+		}
+		target.SetInt(i, int64(c.targetFn(vals, rng)))
+	}
+	if err := f.AddColumn(target); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// genColumn synthesizes one column; for numeric kinds it also returns the
+// pre-null values so the target function can depend on them.
+func genColumn(spec ColSpec, rows int, rng *rand.Rand) (*frame.Series, []float64) {
+	switch spec.Kind {
+	case ColFloat, ColInt:
+		kind := frame.Float
+		if spec.Kind == ColInt && spec.NullRate == 0 {
+			kind = frame.Int
+		}
+		out := frame.NewEmptySeries(spec.Name, kind, rows)
+		vals := make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			var v float64
+			if spec.OutlierRate > 0 && rng.Float64() < spec.OutlierRate {
+				v = spec.OutlierMin + rng.Float64()*(spec.OutlierMax-spec.OutlierMin)
+			} else if spec.Skew {
+				u := rng.Float64()
+				v = spec.Min + (spec.Max-spec.Min)*u*u*u
+			} else {
+				v = spec.Min + rng.Float64()*(spec.Max-spec.Min)
+			}
+			if spec.Kind == ColInt {
+				v = float64(int64(v))
+			}
+			vals[i] = v
+			if spec.NullRate > 0 && rng.Float64() < spec.NullRate {
+				continue // leave null
+			}
+			if kind == frame.Int {
+				out.SetInt(i, int64(v))
+			} else {
+				out.SetFloat(i, v)
+			}
+		}
+		return out, vals
+	case ColCat:
+		out := frame.NewEmptySeries(spec.Name, frame.String, rows)
+		for i := 0; i < rows; i++ {
+			if spec.NullRate > 0 && rng.Float64() < spec.NullRate {
+				continue
+			}
+			out.SetString(i, pickWeighted(spec.Cats, rng))
+		}
+		return out, nil
+	case ColSeq:
+		out := frame.NewEmptySeries(spec.Name, frame.Int, rows)
+		for i := 0; i < rows; i++ {
+			out.SetInt(i, int64(spec.Min)+int64(i))
+		}
+		return out, nil
+	case ColDate:
+		out := frame.NewEmptySeries(spec.Name, frame.String, rows)
+		years := int(spec.Max-spec.Min) + 1
+		if years < 1 {
+			years = 1
+		}
+		for i := 0; i < rows; i++ {
+			if spec.NullRate > 0 && rng.Float64() < spec.NullRate {
+				continue
+			}
+			y := int(spec.Min) + rng.Intn(years)
+			m := 1 + rng.Intn(12)
+			d := 1 + rng.Intn(28)
+			out.SetString(i, fmt.Sprintf("%02d.%02d.%04d", d, m, y))
+		}
+		return out, nil
+	case ColText:
+		card := spec.Cardinality
+		if card <= 0 {
+			card = 40
+		}
+		out := frame.NewEmptySeries(spec.Name, frame.String, rows)
+		for i := 0; i < rows; i++ {
+			if spec.NullRate > 0 && rng.Float64() < spec.NullRate {
+				continue
+			}
+			out.SetString(i, fmt.Sprintf("%s_%03d", spec.Name, rng.Intn(card)))
+		}
+		return out, nil
+	}
+	return frame.NewEmptySeries(spec.Name, frame.String, rows), nil
+}
+
+// pickWeighted draws from cats with geometric weights (first most common).
+func pickWeighted(cats []string, rng *rand.Rand) string {
+	for _, c := range cats {
+		if rng.Float64() < 0.5 {
+			return c
+		}
+	}
+	return cats[len(cats)-1]
+}
+
+// generateScript assembles one corpus script from the step templates.
+func (c *Competition) generateScript(rng *rand.Rand) (GeneratedScript, error) {
+	quality := rng.Float64()
+	// Real corpora mix script archetypes: full pipelines, "minimal
+	// splitter" scripts that load and go straight to the target split, and
+	// "impute and split" scripts that clean but skip filtering and
+	// encoding. The lighter archetypes make short data flows (read→split,
+	// impute→split) legitimately common, as they are on Kaggle.
+	archetypeDraw := rng.Float64()
+	minimal := archetypeDraw < 0.18
+	imputeSplit := !minimal && archetypeDraw < 0.38
+	include := map[int]bool{}
+	for i, t := range c.Steps {
+		pop := t.Pop
+		switch {
+		case minimal:
+			switch {
+			case t.Phase < 5:
+				continue
+			case t.Phase == 5:
+				pop = t.Pop * 0.4 // encode is usually skipped in quick splits
+			default:
+				pop = t.Pop*1.5 + 0.3
+			}
+		case imputeSplit:
+			switch t.Phase {
+			case 2:
+				pop = t.Pop * 1.3
+			case 6:
+				pop = t.Pop*1.5 + 0.3
+			default:
+				continue
+			}
+		case t.Rare:
+			// Low-quality authors reach for unusual steps more often.
+			pop = t.Pop * (0.4 + 1.6*(1-quality))
+		case quality < 0.3:
+			// Low-quality authors skip common practice more often.
+			pop = t.Pop * 0.6
+		}
+		if rng.Float64() < pop {
+			include[i] = true
+		}
+	}
+	// Close over prerequisites.
+	for changed := true; changed; {
+		changed = false
+		for i := range c.Steps {
+			if !include[i] {
+				continue
+			}
+			for _, r := range c.Steps[i].Requires {
+				if !include[r] {
+					include[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	idxs := make([]int, 0, len(include))
+	for i := range include {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool {
+		if c.Steps[idxs[a]].Phase != c.Steps[idxs[b]].Phase {
+			return c.Steps[idxs[a]].Phase < c.Steps[idxs[b]].Phase
+		}
+		return idxs[a] < idxs[b]
+	})
+	src := "import pandas as pd\n"
+	needNumpy := false
+	var lines []string
+	for _, i := range idxs {
+		t := c.Steps[i]
+		v := 0
+		if len(t.Variants) > 1 {
+			// Higher quality → first (most standard) variant.
+			if rng.Float64() > 0.55+0.4*quality {
+				v = 1 + rng.Intn(len(t.Variants)-1)
+			}
+		}
+		line := t.Variants[v]
+		lines = append(lines, line)
+		if containsNp(line) {
+			needNumpy = true
+		}
+	}
+	if needNumpy {
+		src += "import numpy as np\n"
+	}
+	src += fmt.Sprintf("df = pd.read_csv(%q)\n", c.File)
+	for _, l := range lines {
+		src += l + "\n"
+	}
+	s, err := script.Parse(src)
+	if err != nil {
+		return GeneratedScript{}, fmt.Errorf("generated script does not parse: %w\n%s", err, src)
+	}
+	votes := int(quality*40) + rng.Intn(8)
+	return GeneratedScript{Script: s, Votes: votes, Quality: quality}, nil
+}
+
+func containsNp(line string) bool {
+	for i := 0; i+3 <= len(line); i++ {
+		if line[i:i+3] == "np." {
+			return true
+		}
+	}
+	return false
+}
+
+// ScriptsOnly extracts the bare scripts from a generated corpus.
+func (g *Generated) ScriptsOnly() []*script.Script {
+	out := make([]*script.Script, len(g.Scripts))
+	for i, gs := range g.Scripts {
+		out[i] = gs.Script
+	}
+	return out
+}
+
+// LowRanked returns the bottom fraction of the corpus by votes (the paper's
+// low-ranked corpus scenario uses the bottom 30%).
+func (g *Generated) LowRanked(fraction float64) []*script.Script {
+	idx := make([]int, len(g.Scripts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return g.Scripts[idx[a]].Votes < g.Scripts[idx[b]].Votes })
+	n := int(float64(len(idx)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*script.Script, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, g.Scripts[i].Script)
+	}
+	return out
+}
+
+// Sample returns n corpus scripts chosen deterministically (the paper's
+// small-corpus scenario samples 10).
+func (g *Generated) Sample(n int, seed int64) []*script.Script {
+	if n >= len(g.Scripts) {
+		return g.ScriptsOnly()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(g.Scripts))
+	out := make([]*script.Script, 0, n)
+	for _, i := range perm[:n] {
+		out = append(out, g.Scripts[i].Script)
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+package corpusgen
+
+import "math/rand"
+
+// registry returns the six competition definitions in Table 3 order.
+// Row counts and corpus sizes follow the paper's Table 3; schemas and step
+// pools are synthetic stand-ins with matching shape (see DESIGN.md).
+// Template pools are deliberately large so generated scripts reach realistic
+// lengths and the atom/edge vocabularies approach the paper's sizes.
+func registry() []*Competition {
+	return []*Competition{titanic(), house(), nlp(), spaceship(), medical(), sales()}
+}
+
+func titanic() *Competition {
+	return &Competition{
+		Name:       "Titanic",
+		File:       "train.csv",
+		Target:     "Survived",
+		NumRows:    2600,
+		NumScripts: 62,
+		Schema: []ColSpec{
+			{Name: "PassengerId", Kind: ColInt, Min: 1, Max: 900},
+			{Name: "Pclass", Kind: ColInt, Min: 1, Max: 3},
+			{Name: "Name", Kind: ColText, Cardinality: 60},
+			{Name: "Sex", Kind: ColCat, Cats: []string{"male", "female"}},
+			{Name: "Age", Kind: ColFloat, Min: 1, Max: 70, NullRate: 0.2},
+			{Name: "SibSp", Kind: ColInt, Min: 0, Max: 5},
+			{Name: "Parch", Kind: ColInt, Min: 0, Max: 4},
+			{Name: "Ticket", Kind: ColText, Cardinality: 50},
+			{Name: "Fare", Kind: ColFloat, Min: 5, Max: 260, Skew: true, NullRate: 0.02},
+			{Name: "Cabin", Kind: ColText, Cardinality: 40, NullRate: 0.7},
+			{Name: "Embarked", Kind: ColCat, Cats: []string{"S", "C", "Q"}, NullRate: 0.02},
+		},
+		Extra: []ExtraFile{
+			{
+				Name: "test.csv",
+				Rows: 1100,
+				Schema: []ColSpec{
+					{Name: "PassengerId", Kind: ColInt, Min: 901, Max: 1400},
+					{Name: "Pclass", Kind: ColInt, Min: 1, Max: 3},
+					{Name: "Sex", Kind: ColCat, Cats: []string{"male", "female"}},
+					{Name: "Age", Kind: ColFloat, Min: 1, Max: 70, NullRate: 0.2},
+					{Name: "Fare", Kind: ColFloat, Min: 5, Max: 260, Skew: true, NullRate: 0.02},
+					{Name: "Embarked", Kind: ColCat, Cats: []string{"S", "C", "Q"}, NullRate: 0.02},
+				},
+			},
+		},
+		targetFn: func(v map[string]float64, rng *rand.Rand) int {
+			score := 0.0
+			if v["Pclass"] == 1 {
+				score += 1.2
+			}
+			if v["Fare"] > 60 {
+				score += 0.8
+			}
+			if v["Age"] < 16 {
+				score += 0.7
+			}
+			score += rng.NormFloat64() * 0.6
+			if score > 0.9 {
+				return 1
+			}
+			return 0
+		},
+		Steps: []StepTemplate{
+			0: {Phase: 2, Pop: 0.45, Variants: []string{
+				`df["Age"] = df["Age"].fillna(df["Age"].mean())`,
+				`df["Age"] = df["Age"].fillna(df["Age"].median())`,
+			}},
+			1: {Phase: 2, Pop: 0.14, Variants: []string{`df["Embarked"] = df["Embarked"].fillna("S")`}},
+			2: {Phase: 2, Pop: 0.3, Variants: []string{
+				`df["Fare"] = df["Fare"].fillna(df["Fare"].median())`,
+				`df["Fare"] = df["Fare"].fillna(df["Fare"].mean())`,
+			}},
+			3: {Phase: 2, Pop: 0.2, Variants: []string{`df["Cabin"] = df["Cabin"].fillna("Unknown")`}},
+			4: {Phase: 2, Pop: 0.07, Rare: true, Variants: []string{`df = df.dropna()`}},
+			5: {Phase: 2, Pop: 0.1, Variants: []string{`df = df.drop_duplicates()`}},
+			6: {Phase: 3, Pop: 0.22, Variants: []string{
+				`df = df[df["Fare"] < 300]`,
+				`df = df[df["Fare"] < 500]`,
+			}},
+			7:  {Phase: 3, Pop: 0.09, Rare: true, Variants: []string{`df = df[df["Age"] < 80]`}},
+			8:  {Phase: 3, Pop: 0.05, Rare: true, Variants: []string{`df = df[df["Embarked"] == "S"]`}},
+			9:  {Phase: 3, Pop: 0.12, Variants: []string{`df = df[df["Fare"] > 0]`}},
+			10: {Phase: 4, Pop: 0.38, Variants: []string{`df["FamilySize"] = df["SibSp"] + df["Parch"] + 1`}},
+			11: {Phase: 4, Pop: 0.18, Requires: []int{10}, Variants: []string{`df["IsAlone"] = np.where(df["FamilySize"] == 1, 1, 0)`}},
+			12: {Phase: 4, Pop: 0.22, Variants: []string{`df["Fare"] = np.log1p(df["Fare"])`}},
+			13: {Phase: 4, Pop: 0.52, Variants: []string{`df["Sex"] = df["Sex"].map({"male": 0, "female": 1})`}},
+			14: {Phase: 4, Pop: 0.12, Rare: true, Variants: []string{`df["AgeBin"] = pd.cut(df["Age"], 5)`}},
+			15: {Phase: 4, Pop: 0.14, Variants: []string{`df["FareScaled"] = (df["Fare"] - df["Fare"].min()) / (df["Fare"].max() - df["Fare"].min())`}},
+			16: {Phase: 4, Pop: 0.2, Variants: []string{`df["Embarked"] = df["Embarked"].map({"S": 0, "C": 1, "Q": 2})`}},
+			17: {Phase: 4, Pop: 0.15, Variants: []string{`df["Child"] = np.where(df["Age"] < 16, 1, 0)`}},
+			18: {Phase: 4, Pop: 0.12, Variants: []string{`df["FareBin"] = pd.qcut(df["Fare"], 4)`}},
+			19: {Phase: 4, Pop: 0.1, Variants: []string{`df["AgeClass"] = df["Age"] * df["Pclass"]`}},
+			20: {Phase: 4, Pop: 0.08, Rare: true, Variants: []string{`df["NameLen"] = df["Name"].str.len()`}},
+			21: {Phase: 4, Pop: 0.06, Rare: true, Variants: []string{`df["FarePerPerson"] = df["Fare"] / (df["SibSp"] + df["Parch"] + 1)`}},
+			22: {Phase: 5, Pop: 0.68, Variants: []string{
+				`df = df.drop(["Name", "Ticket", "Cabin"], axis=1)`,
+				`df = df.drop(["Name", "Ticket"], axis=1)`,
+			}},
+			23: {Phase: 5, Pop: 0.3, Variants: []string{`df = df.drop("PassengerId", axis=1)`}},
+			24: {Phase: 5, Pop: 0.6, Requires: []int{22}, Variants: []string{`df = pd.get_dummies(df)`}},
+			25: {Phase: 6, Pop: 0.5, Variants: []string{`y = df["Survived"]`}},
+			26: {Phase: 6, Pop: 0.45, Variants: []string{`X = df.drop("Survived", axis=1)`}},
+			27: {Phase: 2, Pop: 0.12, Variants: []string{`df["SibSp"] = df["SibSp"].astype("int")`}},
+			28: {Phase: 4, Pop: 0.07, Rare: true, Variants: []string{`df["Fare"] = df["Fare"].round()`}},
+			29: {Phase: 3, Pop: 0.06, Rare: true, Variants: []string{`df = df[(df["Pclass"] == 1) | (df["Pclass"] == 2)]`}},
+			30: {Phase: 2, Pop: 0.28, Variants: []string{`test = pd.read_csv("test.csv")`}},
+			31: {Phase: 2, Pop: 0.2, Requires: []int{30}, Variants: []string{`test["Age"] = test["Age"].fillna(test["Age"].mean())`}},
+			32: {Phase: 2, Pop: 0.12, Requires: []int{30}, Variants: []string{`test["Fare"] = test["Fare"].fillna(test["Fare"].median())`}},
+		},
+	}
+}
+
+func house() *Competition {
+	return &Competition{
+		Name:       "House",
+		File:       "house.csv",
+		Target:     "SalePrice",
+		NumRows:    4300,
+		NumScripts: 49,
+		Schema: []ColSpec{
+			{Name: "Id", Kind: ColInt, Min: 1, Max: 1500},
+			{Name: "MSSubClass", Kind: ColInt, Min: 20, Max: 190},
+			{Name: "LotFrontage", Kind: ColFloat, Min: 20, Max: 150, NullRate: 0.18},
+			{Name: "LotArea", Kind: ColFloat, Min: 1500, Max: 50000, Skew: true, OutlierRate: 0.01, OutlierMin: 100000, OutlierMax: 200000},
+			{Name: "OverallQual", Kind: ColInt, Min: 1, Max: 10},
+			{Name: "OverallCond", Kind: ColInt, Min: 1, Max: 10},
+			{Name: "YearBuilt", Kind: ColInt, Min: 1900, Max: 2010},
+			{Name: "YearRemodAdd", Kind: ColInt, Min: 1950, Max: 2010},
+			{Name: "TotalBsmtSF", Kind: ColFloat, Min: 0, Max: 2500, NullRate: 0.03},
+			{Name: "FirstFlrSF", Kind: ColFloat, Min: 300, Max: 2500},
+			{Name: "SecondFlrSF", Kind: ColFloat, Min: 0, Max: 1500},
+			{Name: "GrLivArea", Kind: ColFloat, Min: 400, Max: 4000, OutlierRate: 0.02, OutlierMin: 4500, OutlierMax: 6000},
+			{Name: "FullBath", Kind: ColInt, Min: 0, Max: 3},
+			{Name: "HalfBath", Kind: ColInt, Min: 0, Max: 2},
+			{Name: "BedroomAbvGr", Kind: ColInt, Min: 0, Max: 6},
+			{Name: "TotRmsAbvGrd", Kind: ColInt, Min: 2, Max: 12},
+			{Name: "Fireplaces", Kind: ColInt, Min: 0, Max: 3},
+			{Name: "GarageCars", Kind: ColFloat, Min: 0, Max: 4, NullRate: 0.05},
+			{Name: "GarageArea", Kind: ColFloat, Min: 0, Max: 1200, NullRate: 0.05},
+			{Name: "WoodDeckSF", Kind: ColFloat, Min: 0, Max: 800},
+			{Name: "OpenPorchSF", Kind: ColFloat, Min: 0, Max: 500},
+			{Name: "PoolArea", Kind: ColFloat, Min: 0, Max: 700, Skew: true},
+			{Name: "Neighborhood", Kind: ColCat, Cats: []string{"NAmes", "CollgCr", "OldTown", "Edwards", "Somerst", "Gilbert", "NridgHt", "Sawyer", "NWAmes", "SawyerW", "BrkSide", "Crawfor"}},
+			{Name: "HouseStyle", Kind: ColCat, Cats: []string{"1Story", "2Story", "1.5Fin", "SLvl", "SFoyer", "2.5Unf"}},
+			{Name: "ExterQual", Kind: ColCat, Cats: []string{"TA", "Gd", "Ex", "Fa"}},
+			{Name: "KitchenQual", Kind: ColCat, Cats: []string{"TA", "Gd", "Ex", "Fa"}, NullRate: 0.04},
+			{Name: "BsmtQual", Kind: ColCat, Cats: []string{"TA", "Gd", "Ex", "Fa", "Po"}, NullRate: 0.06},
+			{Name: "SaleCondition", Kind: ColCat, Cats: []string{"Normal", "Partial", "Abnorml", "Family", "Alloca"}},
+			{Name: "CentralAir", Kind: ColCat, Cats: []string{"Y", "N"}},
+			{Name: "MSZoning", Kind: ColCat, Cats: []string{"RL", "RM", "FV", "RH", "C"}, NullRate: 0.01},
+		},
+		targetFn: func(v map[string]float64, rng *rand.Rand) int {
+			score := v["OverallQual"]*0.5 + v["GrLivArea"]/1000 + v["GarageCars"]*0.3 + rng.NormFloat64()*0.8
+			if score > 4.6 {
+				return 1
+			}
+			return 0
+		},
+		Steps: []StepTemplate{
+			0: {Phase: 2, Pop: 0.42, Variants: []string{
+				`df["LotFrontage"] = df["LotFrontage"].fillna(df["LotFrontage"].median())`,
+				`df["LotFrontage"] = df["LotFrontage"].fillna(df["LotFrontage"].mean())`,
+			}},
+			1: {Phase: 2, Pop: 0.35, Variants: []string{
+				`df = df.fillna(df.mean())`,
+				`df = df.fillna(df.median())`,
+			}},
+			2: {Phase: 2, Pop: 0.22, Variants: []string{`df["GarageArea"] = df["GarageArea"].fillna(0)`}},
+			3: {Phase: 2, Pop: 0.2, Variants: []string{`df["GarageCars"] = df["GarageCars"].fillna(0)`}},
+			4: {Phase: 2, Pop: 0.16, Variants: []string{`df["BsmtQual"] = df["BsmtQual"].fillna("NA")`}},
+			5: {Phase: 2, Pop: 0.12, Variants: []string{`df["KitchenQual"] = df["KitchenQual"].fillna("TA")`}},
+			6: {Phase: 2, Pop: 0.1, Variants: []string{`df["TotalBsmtSF"] = df["TotalBsmtSF"].fillna(0)`}},
+			7: {Phase: 3, Pop: 0.45, Variants: []string{
+				`df = df[df["GrLivArea"] < 4500]`,
+				`df = df[df["GrLivArea"] < 4000]`,
+			}},
+			8:  {Phase: 3, Pop: 0.09, Rare: true, Variants: []string{`df = df[df["LotArea"] < 100000]`}},
+			9:  {Phase: 3, Pop: 0.1, Variants: []string{`df = df[df["SaleCondition"] == "Normal"]`}},
+			10: {Phase: 4, Pop: 0.3, Variants: []string{`df["TotalSF"] = df["TotalBsmtSF"] + df["GrLivArea"]`}},
+			11: {Phase: 4, Pop: 0.18, Variants: []string{`df["Age"] = 2011 - df["YearBuilt"]`}},
+			12: {Phase: 4, Pop: 0.15, Variants: []string{`df["TotalBath"] = df["FullBath"] + df["HalfBath"]`}},
+			13: {Phase: 4, Pop: 0.14, Variants: []string{`df["HasPool"] = np.where(df["PoolArea"] > 0, 1, 0)`}},
+			14: {Phase: 4, Pop: 0.12, Variants: []string{`df["Remodeled"] = np.where(df["YearRemodAdd"] > df["YearBuilt"], 1, 0)`}},
+			15: {Phase: 4, Pop: 0.08, Rare: true, Variants: []string{`df["OverallQual_sq"] = df["OverallQual"] * df["OverallQual"]`}},
+			16: {Phase: 4, Pop: 0.12, Variants: []string{`df["LotArea"] = np.log1p(df["LotArea"])`}},
+			17: {Phase: 4, Pop: 0.1, Variants: []string{`df["PorchSF"] = df["OpenPorchSF"] + df["WoodDeckSF"]`}},
+			18: {Phase: 5, Pop: 0.3, Variants: []string{`df = df.drop("Id", axis=1)`}},
+			19: {Phase: 5, Pop: 0.55, Variants: []string{`df = pd.get_dummies(df)`}},
+			20: {Phase: 6, Pop: 0.35, Variants: []string{`y = df["SalePrice"]`}},
+			21: {Phase: 6, Pop: 0.3, Variants: []string{`X = df.drop("SalePrice", axis=1)`}},
+			22: {Phase: 4, Pop: 0.07, Rare: true, Variants: []string{`df["CondQual"] = df["OverallCond"] * df["OverallQual"]`}},
+			23: {Phase: 3, Pop: 0.06, Rare: true, Variants: []string{`df = df[df["MSZoning"].isin(["RL", "RM"])]`}},
+		},
+	}
+}
+
+func nlp() *Competition {
+	return &Competition{
+		Name:       "NLP",
+		File:       "tweets.csv",
+		Target:     "target",
+		NumRows:    22700,
+		NumScripts: 24,
+		Schema: []ColSpec{
+			{Name: "id", Kind: ColInt, Min: 0, Max: 100000},
+			{Name: "keyword", Kind: ColCat, NullRate: 0.05, Cats: []string{"fire", "flood", "earthquake", "storm", "crash", "attack", "explosion", "wildfire", "collapse", "emergency", "disaster", "panic"}},
+			{Name: "location", Kind: ColText, Cardinality: 50, NullRate: 0.33},
+			{Name: "text", Kind: ColText, Cardinality: 200},
+			{Name: "followers", Kind: ColFloat, Min: 0, Max: 50000, Skew: true},
+		},
+		targetFn: func(v map[string]float64, rng *rand.Rand) int {
+			score := v["followers"]/20000 + rng.NormFloat64()*0.7
+			if score > 0.8 {
+				return 1
+			}
+			return 0
+		},
+		Steps: []StepTemplate{
+			0: {Phase: 2, Pop: 0.5, Variants: []string{
+				`df["keyword"] = df["keyword"].fillna("none")`,
+				`df["keyword"] = df["keyword"].fillna("unknown")`,
+			}},
+			1: {Phase: 2, Pop: 0.4, Variants: []string{`df["location"] = df["location"].fillna("unknown")`}},
+			2: {Phase: 4, Pop: 0.6, Variants: []string{`df["text"] = df["text"].str.lower()`}},
+			3: {Phase: 4, Pop: 0.32, Variants: []string{`df["text_len"] = df["text"].str.len()`}},
+			4: {Phase: 4, Pop: 0.09, Rare: true, Variants: []string{`df["text"] = df["text"].str.strip()`}},
+			5: {Phase: 4, Pop: 0.15, Variants: []string{`df["keyword"] = df["keyword"].str.lower()`}},
+			6: {Phase: 4, Pop: 0.12, Variants: []string{`df["log_followers"] = np.log1p(df["followers"])`}},
+			7: {Phase: 5, Pop: 0.5, Variants: []string{
+				`df = df.drop(["location", "text", "id"], axis=1)`,
+				`df = df.drop(["location", "text"], axis=1)`,
+			}},
+			8:  {Phase: 5, Pop: 0.4, Requires: []int{7}, Variants: []string{`df = pd.get_dummies(df)`}},
+			9:  {Phase: 6, Pop: 0.4, Variants: []string{`y = df["target"]`}},
+			10: {Phase: 6, Pop: 0.35, Variants: []string{`X = df.drop("target", axis=1)`}},
+		},
+	}
+}
+
+func spaceship() *Competition {
+	return &Competition{
+		Name:       "Spaceship",
+		File:       "spaceship.csv",
+		Target:     "Transported",
+		NumRows:    17200,
+		NumScripts: 38,
+		Schema: []ColSpec{
+			{Name: "PassengerId", Kind: ColText, Cardinality: 400},
+			{Name: "HomePlanet", Kind: ColCat, Cats: []string{"Earth", "Europa", "Mars"}, NullRate: 0.02},
+			{Name: "CryoSleep", Kind: ColCat, Cats: []string{"False", "True"}, NullRate: 0.02},
+			{Name: "Cabin", Kind: ColText, Cardinality: 60, NullRate: 0.02},
+			{Name: "Destination", Kind: ColCat, Cats: []string{"TRAPPIST-1e", "55 Cancri e", "PSO J318.5-22"}, NullRate: 0.02},
+			{Name: "Age", Kind: ColFloat, Min: 1, Max: 80, NullRate: 0.05},
+			{Name: "VIP", Kind: ColCat, Cats: []string{"False", "True"}, NullRate: 0.02},
+			{Name: "RoomService", Kind: ColFloat, Min: 0, Max: 9000, Skew: true, NullRate: 0.05},
+			{Name: "FoodCourt", Kind: ColFloat, Min: 0, Max: 9000, Skew: true, NullRate: 0.05},
+			{Name: "ShoppingMall", Kind: ColFloat, Min: 0, Max: 9000, Skew: true, NullRate: 0.05},
+			{Name: "Spa", Kind: ColFloat, Min: 0, Max: 9000, Skew: true, NullRate: 0.05},
+			{Name: "VRDeck", Kind: ColFloat, Min: 0, Max: 9000, Skew: true, NullRate: 0.05},
+		},
+		targetFn: func(v map[string]float64, rng *rand.Rand) int {
+			spend := v["RoomService"] + v["Spa"] + v["VRDeck"]
+			score := -spend/4000 + v["Age"]/60 + rng.NormFloat64()*0.5
+			if score > 0.1 {
+				return 1
+			}
+			return 0
+		},
+		Steps: []StepTemplate{
+			0: {Phase: 2, Pop: 0.42, Variants: []string{
+				`df["Age"] = df["Age"].fillna(df["Age"].mean())`,
+				`df["Age"] = df["Age"].fillna(df["Age"].median())`,
+			}},
+			1:  {Phase: 2, Pop: 0.36, Variants: []string{`df["RoomService"] = df["RoomService"].fillna(0)`}},
+			2:  {Phase: 2, Pop: 0.32, Variants: []string{`df["Spa"] = df["Spa"].fillna(0)`}},
+			3:  {Phase: 2, Pop: 0.28, Variants: []string{`df["FoodCourt"] = df["FoodCourt"].fillna(0)`}},
+			4:  {Phase: 2, Pop: 0.25, Variants: []string{`df["VRDeck"] = df["VRDeck"].fillna(0)`}},
+			5:  {Phase: 2, Pop: 0.22, Variants: []string{`df["ShoppingMall"] = df["ShoppingMall"].fillna(0)`}},
+			6:  {Phase: 2, Pop: 0.2, Variants: []string{`df = df.fillna(df.mean())`}},
+			7:  {Phase: 2, Pop: 0.18, Variants: []string{`df["HomePlanet"] = df["HomePlanet"].fillna("Earth")`}},
+			8:  {Phase: 2, Pop: 0.15, Variants: []string{`df["CryoSleep"] = df["CryoSleep"].fillna("False")`}},
+			9:  {Phase: 3, Pop: 0.08, Rare: true, Variants: []string{`df = df[df["Age"] < 80]`}},
+			10: {Phase: 4, Pop: 0.38, Variants: []string{`df["TotalSpend"] = df["RoomService"] + df["FoodCourt"] + df["ShoppingMall"] + df["Spa"] + df["VRDeck"]`}},
+			11: {Phase: 4, Pop: 0.08, Rare: true, Requires: []int{10}, Variants: []string{`df["LogSpend"] = np.log1p(df["TotalSpend"])`}},
+			12: {Phase: 4, Pop: 0.2, Variants: []string{`df["CryoSleep"] = df["CryoSleep"].map({"False": 0, "True": 1})`}},
+			13: {Phase: 4, Pop: 0.15, Variants: []string{`df["VIP"] = df["VIP"].map({"False": 0, "True": 1})`}},
+			14: {Phase: 4, Pop: 0.14, Requires: []int{10}, Variants: []string{`df["NoSpend"] = np.where(df["TotalSpend"] == 0, 1, 0)`}},
+			15: {Phase: 4, Pop: 0.1, Variants: []string{`df["IsChild"] = np.where(df["Age"] < 13, 1, 0)`}},
+			16: {Phase: 5, Pop: 0.6, Variants: []string{`df = df.drop(["PassengerId", "Cabin"], axis=1)`}},
+			17: {Phase: 5, Pop: 0.55, Requires: []int{16}, Variants: []string{`df = pd.get_dummies(df)`}},
+			18: {Phase: 6, Pop: 0.4, Variants: []string{`y = df["Transported"]`}},
+			19: {Phase: 6, Pop: 0.35, Variants: []string{`X = df.drop("Transported", axis=1)`}},
+			20: {Phase: 4, Pop: 0.07, Rare: true, Variants: []string{`df["SpendPerYear"] = df["RoomService"] / df["Age"]`}},
+		},
+	}
+}
+
+func medical() *Competition {
+	return &Competition{
+		Name:       "Medical",
+		File:       "diabetes.csv",
+		Target:     "Outcome",
+		NumRows:    700,
+		NumScripts: 47,
+		Schema: []ColSpec{
+			{Name: "Pregnancies", Kind: ColInt, Min: 0, Max: 12},
+			{Name: "Glucose", Kind: ColFloat, Min: 70, Max: 180, NullRate: 0.08},
+			{Name: "BloodPressure", Kind: ColFloat, Min: 50, Max: 110, NullRate: 0.04},
+			{Name: "SkinThickness", Kind: ColFloat, Min: 5, Max: 50, OutlierRate: 0.05, OutlierMin: 85, OutlierMax: 99},
+			{Name: "Insulin", Kind: ColFloat, Min: 15, Max: 300, Skew: true, NullRate: 0.25},
+			{Name: "BMI", Kind: ColFloat, Min: 18, Max: 45, NullRate: 0.03},
+			{Name: "DiabetesPedigreeFunction", Kind: ColFloat, Min: 0.08, Max: 2, Skew: true},
+			{Name: "Age", Kind: ColInt, Min: 18, Max: 70},
+		},
+		targetFn: func(v map[string]float64, rng *rand.Rand) int {
+			score := (v["Glucose"]-120)/30 + (v["BMI"]-30)/10 + rng.NormFloat64()*0.5
+			if score > 0 {
+				return 1
+			}
+			return 0
+		},
+		Steps: []StepTemplate{
+			0: {Phase: 2, Pop: 0.55, Variants: []string{
+				`df = df.fillna(df.mean())`,
+				`df = df.fillna(df.median())`,
+			}},
+			1: {Phase: 2, Pop: 0.16, Variants: []string{`df["Glucose"] = df["Glucose"].fillna(df["Glucose"].mean())`}},
+			2: {Phase: 2, Pop: 0.12, Variants: []string{`df["Insulin"] = df["Insulin"].fillna(df["Insulin"].median())`}},
+			3: {Phase: 3, Pop: 0.5, Variants: []string{
+				`df = df[df["SkinThickness"] < 80]`,
+				`df = df[df["SkinThickness"] < 100]`,
+			}},
+			4:  {Phase: 3, Pop: 0.16, Variants: []string{`df = df[df["BMI"] > 0]`}},
+			5:  {Phase: 3, Pop: 0.1, Rare: true, Variants: []string{`df = df[df["Insulin"] < 400]`}},
+			6:  {Phase: 3, Pop: 0.08, Rare: true, Variants: []string{`df = df[df["BloodPressure"] > 0]`}},
+			7:  {Phase: 4, Pop: 0.1, Rare: true, Variants: []string{`df["BMI_Age"] = df["BMI"] * df["Age"]`}},
+			8:  {Phase: 4, Pop: 0.14, Variants: []string{`df["GlucoseScaled"] = (df["Glucose"] - df["Glucose"].min()) / (df["Glucose"].max() - df["Glucose"].min())`}},
+			9:  {Phase: 4, Pop: 0.1, Variants: []string{`df["Overweight"] = np.where(df["BMI"] > 30, 1, 0)`}},
+			10: {Phase: 4, Pop: 0.08, Rare: true, Variants: []string{`df["AgeBin"] = pd.cut(df["Age"], 4)`}},
+			11: {Phase: 5, Pop: 0.6, Variants: []string{`df = pd.get_dummies(df)`}},
+			12: {Phase: 6, Pop: 0.45, Variants: []string{`y = df["Outcome"]`}},
+			13: {Phase: 6, Pop: 0.4, Variants: []string{`X = df.drop("Outcome", axis=1)`}},
+			14: {Phase: 2, Pop: 0.08, Rare: true, Variants: []string{`df = df.dropna()`}},
+		},
+	}
+}
+
+func sales() *Competition {
+	return &Competition{
+		Name:       "Sales",
+		File:       "sales.csv",
+		Target:     "HighSales",
+		NumRows:    744300,
+		NumScripts: 26,
+		Schema: []ColSpec{
+			{Name: "date", Kind: ColDate, Min: 2013, Max: 2015},
+			{Name: "date_block_num", Kind: ColInt, Min: 0, Max: 33},
+			{Name: "shop_id", Kind: ColInt, Min: 0, Max: 59},
+			{Name: "item_id", Kind: ColInt, Min: 0, Max: 1000},
+			{Name: "item_price", Kind: ColFloat, Min: 0.5, Max: 30000, Skew: true, OutlierRate: 0.01, OutlierMin: -10, OutlierMax: 0},
+			{Name: "item_cnt_day", Kind: ColFloat, Min: -1, Max: 20, OutlierRate: 0.005, OutlierMin: 500, OutlierMax: 2000},
+		},
+		targetFn: func(v map[string]float64, rng *rand.Rand) int {
+			score := v["item_cnt_day"]/8 - v["item_price"]/20000 + rng.NormFloat64()*0.4
+			if score > 0.5 {
+				return 1
+			}
+			return 0
+		},
+		Extra: []ExtraFile{
+			{
+				Name:    "items.csv",
+				Rows:    1001,
+				NoScale: true,
+				Schema: []ColSpec{
+					{Name: "item_id", Kind: ColSeq, Min: 0},
+					{Name: "item_category_id", Kind: ColInt, Min: 0, Max: 83},
+					{Name: "item_name", Kind: ColText, Cardinality: 400},
+				},
+			},
+		},
+		Steps: []StepTemplate{
+			0: {Phase: 3, Pop: 0.6, Variants: []string{`df = df[df["item_price"] > 0]`}},
+			1: {Phase: 3, Pop: 0.36, Variants: []string{
+				`df = df[df["item_price"] < 100000]`,
+				`df = df[df["item_price"] < 50000]`,
+			}},
+			2: {Phase: 3, Pop: 0.42, Variants: []string{
+				`df = df[df["item_cnt_day"] < 1000]`,
+				`df = df[df["item_cnt_day"] < 1500]`,
+			}},
+			3:  {Phase: 3, Pop: 0.12, Variants: []string{`df = df[df["item_cnt_day"] > 0]`}},
+			4:  {Phase: 4, Pop: 0.26, Variants: []string{`df["item_price"] = np.log1p(df["item_price"])`}},
+			5:  {Phase: 4, Pop: 0.22, Variants: []string{`df["item_cnt_day"] = df["item_cnt_day"].clip(0, 20)`}},
+			6:  {Phase: 4, Pop: 0.12, Rare: true, Variants: []string{`df["revenue"] = df["item_price"] * df["item_cnt_day"]`}},
+			7:  {Phase: 2, Pop: 0.1, Variants: []string{`df = df.drop_duplicates()`}},
+			8:  {Phase: 6, Pop: 0.3, Variants: []string{`y = df["HighSales"]`}},
+			9:  {Phase: 6, Pop: 0.25, Variants: []string{`X = df.drop("HighSales", axis=1)`}},
+			10: {Phase: 2, Pop: 0.35, Variants: []string{`items = pd.read_csv("items.csv")`}},
+			13: {Phase: 2, Pop: 0.4, Variants: []string{`df["date"] = pd.to_datetime(df["date"])`}},
+			14: {Phase: 4, Pop: 0.25, Requires: []int{13}, Variants: []string{`df["month"] = df["date"].dt.month`}},
+			15: {Phase: 4, Pop: 0.15, Requires: []int{13}, Variants: []string{`df["year"] = df["date"].dt.year`}},
+			16: {Phase: 5, Pop: 0.3, Requires: []int{13}, Variants: []string{`df = df.drop("date", axis=1)`}},
+			11: {Phase: 2, Pop: 0.3, Requires: []int{10}, Variants: []string{
+				`df = df.merge(items, on="item_id")`,
+				`df = pd.merge(df, items, on="item_id", how="left")`,
+			}},
+			12: {Phase: 5, Pop: 0.2, Requires: []int{10, 11}, Variants: []string{`df = df.drop("item_name", axis=1)`}},
+		},
+	}
+}

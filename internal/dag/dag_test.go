@@ -1,0 +1,229 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"lucidscript/internal/script"
+)
+
+func TestLemmatizeRenamesReadCSVVar(t *testing.T) {
+	s := script.MustParse(`import pandas
+train = pandas.read_csv("train.csv")
+train = train.fillna(train.mean())
+`)
+	lem := Lemmatize(s)
+	src := lem.Source()
+	if !strings.Contains(src, "import pandas as pd") {
+		t.Fatalf("module alias not canonical:\n%s", src)
+	}
+	if !strings.Contains(src, `df = pd.read_csv("train.csv")`) {
+		t.Fatalf("read_csv var not renamed:\n%s", src)
+	}
+	if !strings.Contains(src, "df = df.fillna(df.mean())") {
+		t.Fatalf("uses not renamed:\n%s", src)
+	}
+	if strings.Contains(src, "train") && !strings.Contains(src, "train.csv") {
+		t.Fatalf("old name leaked:\n%s", src)
+	}
+}
+
+func TestLemmatizeTwoFiles(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+a = pd.read_csv("a.csv")
+b = pd.read_csv("b.csv")
+a = a.dropna()
+b = b.dropna()
+`)
+	src := Lemmatize(s).Source()
+	if !strings.Contains(src, `df = pd.read_csv("a.csv")`) || !strings.Contains(src, `df2 = pd.read_csv("b.csv")`) {
+		t.Fatalf("two-file canonical names wrong:\n%s", src)
+	}
+	if !strings.Contains(src, "df2 = df2.dropna()") {
+		t.Fatalf("df2 chain broken:\n%s", src)
+	}
+}
+
+func TestLemmatizeSameFileSameName(t *testing.T) {
+	a := script.MustParse("import pandas as pd\nfoo = pd.read_csv(\"x.csv\")\nfoo = foo.dropna()\n")
+	b := script.MustParse("import pandas as pd\nbar = pd.read_csv(\"x.csv\")\nbar = bar.dropna()\n")
+	if Lemmatize(a).Source() != Lemmatize(b).Source() {
+		t.Fatal("semantically identical scripts should lemmatize identically")
+	}
+}
+
+func TestLemmatizeFrameAlias(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+data = df.dropna()
+data = data.fillna(0)
+`)
+	src := Lemmatize(s).Source()
+	if strings.Contains(src, "data") {
+		t.Fatalf("frame alias not unified:\n%s", src)
+	}
+}
+
+func TestLemmatizeKeepsXY(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+y = df["target"]
+X = df.drop("target", axis=1)
+`)
+	src := Lemmatize(s).Source()
+	if !strings.Contains(src, `y = df["target"]`) {
+		t.Fatalf("y renamed:\n%s", src)
+	}
+	if !strings.Contains(src, `X = df.drop("target", axis=1)`) {
+		t.Fatalf("conventional X must not be unified into df:\n%s", src)
+	}
+	lem2 := Lemmatize(script.MustParse(s.Source())).Source()
+	if src != lem2 {
+		t.Fatal("lemmatization not deterministic")
+	}
+}
+
+func TestBuildGraphEdges(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.mean())
+df = pd.get_dummies(df)
+`)
+	g := Build(s)
+	if len(g.Lines) != 4 {
+		t.Fatalf("lines = %d", len(g.Lines))
+	}
+	// Edges: import→read_csv (pd), read_csv→fillna (df),
+	// fillna→get_dummies (df), import→get_dummies (pd).
+	if len(g.Edges) != 4 {
+		t.Fatalf("edges = %d: %v", len(g.Edges), g.Edges)
+	}
+	found := false
+	for _, e := range g.Edges {
+		if e.From == `df = pd.read_csv("diabetes.csv")` && e.To == "df = df.fillna(df.mean())" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing read_csv→fillna edge: %v", g.Edges)
+	}
+}
+
+func TestEdgeNearestWriter(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+df = df.dropna()
+df = df.fillna(0)
+`)
+	g := Build(s)
+	// fillna must link to dropna (nearest writer), not read_csv.
+	for _, e := range g.Edges {
+		if e.To == "df = df.fillna(0)" && strings.Contains(e.From, "read_csv") {
+			t.Fatalf("edge skipped nearest writer: %v", g.Edges)
+		}
+	}
+}
+
+func TestUnigramAtoms(t *testing.T) {
+	st, err := script.ParseStmt(`df = df[df["Age"].between(18, 25)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := UnigramAtoms(st)
+	want := map[string]bool{
+		`df["Age"]`:         true,
+		`_.between(18, 25)`: true,
+		`df[_]`:             true,
+	}
+	if len(atoms) != len(want) {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	for _, a := range atoms {
+		if !want[a] {
+			t.Fatalf("unexpected atom %q in %v", a, atoms)
+		}
+	}
+}
+
+func TestUnigramAtomKeepsLiterals(t *testing.T) {
+	st, _ := script.ParseStmt(`df = df[df["SkinThickness"] < 80]`)
+	atoms := UnigramAtoms(st)
+	joined := strings.Join(atoms, ";")
+	if !strings.Contains(joined, "80") {
+		t.Fatalf("literal lost: %v", atoms)
+	}
+}
+
+func TestLineInfoReadsWrites(t *testing.T) {
+	st, _ := script.ParseStmt(`df["Age"] = df["Age"].fillna(df["Age"].mean())`)
+	li := NewLineInfo(st)
+	if len(li.Reads) != 1 || li.Reads[0] != "df" {
+		t.Fatalf("reads = %v", li.Reads)
+	}
+	if len(li.Writes) != 1 || li.Writes[0] != "df" {
+		t.Fatalf("writes = %v", li.Writes)
+	}
+	imp, _ := script.ParseStmt("import pandas as pd")
+	li2 := NewLineInfo(imp)
+	if len(li2.Writes) != 1 || li2.Writes[0] != "pd" {
+		t.Fatalf("import writes = %v", li2.Writes)
+	}
+}
+
+func TestToScriptRoundTrip(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+df = df.dropna()
+`)
+	g := Build(s)
+	back := ToScript(g.Lines)
+	if back.Source() != g.Script.Source() {
+		t.Fatalf("ToScript mismatch:\n%s\n%s", back.Source(), g.Script.Source())
+	}
+}
+
+func TestEdgeKeyFormat(t *testing.T) {
+	e := Edge{From: "a", To: "b"}
+	if e.Key() != "a -> b" {
+		t.Fatalf("key = %q", e.Key())
+	}
+}
+
+func TestEdgesOfEmptyAndSingle(t *testing.T) {
+	if got := EdgesOf(nil); len(got) != 0 {
+		t.Fatal("edges of empty")
+	}
+	st, _ := script.ParseStmt("import pandas as pd")
+	if got := EdgesOf([]LineInfo{NewLineInfo(st)}); len(got) != 0 {
+		t.Fatal("single import has no edges")
+	}
+}
+
+func TestGraphUnigramsAcrossScript(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+df = df.fillna(df.mean())
+`)
+	g := Build(s)
+	if len(g.Unigrams) < 3 {
+		t.Fatalf("unigrams = %v", g.Unigrams)
+	}
+}
+
+func TestEdgeDedupWithinLine(t *testing.T) {
+	// A line reading df twice produces one edge from the writer.
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+df = df[df["a"] > 1]
+`)
+	g := Build(s)
+	n := 0
+	for _, e := range g.Edges {
+		if e.To == `df = df[df["a"] > 1]` && strings.Contains(e.From, "read_csv") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("duplicate edges: %v", g.Edges)
+	}
+}

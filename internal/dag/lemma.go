@@ -1,0 +1,320 @@
+// Package dag converts LSL scripts into the paper's DAG representation:
+// lemmatized line-level atoms (n-gram atoms), operation-invocation atoms
+// (1-gram atoms), and data-flow edges between atoms. The edge multiset is
+// the sample space over which script standardness (relative entropy) is
+// computed, and the per-atom read/write sets let the search framework
+// recompute edges cheaply after each candidate transformation.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"lucidscript/internal/script"
+)
+
+// Canonical module aliases applied during lemmatization.
+const (
+	pandasAlias = "pd"
+	numpyAlias  = "np"
+)
+
+// frameMethods are DataFrame-returning methods: assigning their result to a
+// fresh variable keeps the canonical frame name (train = train.fillna(...)
+// lemmatizes to df = df.fillna(...)).
+var frameMethods = map[string]bool{
+	"fillna": true, "dropna": true, "drop": true, "sample": true,
+	"head": true, "sort_values": true, "copy": true, "reset_index": true,
+	"rename": true, "drop_duplicates": true,
+}
+
+// conventionalNames are variable names with established meaning in data
+// science scripts; they are never unified into a frame's canonical name
+// (X = df.drop("target", axis=1) must stay X, not become df).
+var conventionalNames = map[string]bool{
+	"X": true, "y": true, "X_train": true, "X_test": true,
+	"y_train": true, "y_test": true, "features": true, "labels": true,
+	"train_X": true, "train_y": true, "test_X": true, "test_y": true,
+}
+
+// IsConventionalName reports whether the variable name carries established
+// data-science meaning (target/feature split variables).
+func IsConventionalName(name string) bool { return conventionalNames[name] }
+
+// Lemmatize rewrites a script into canonical form: module aliases become
+// pd/np, the first variable read from each distinct CSV file becomes df,
+// df2, ..., and variables holding transformed versions of a canonical frame
+// adopt the frame's name. The input script is not modified.
+func Lemmatize(s *script.Script) *script.Script {
+	ren := map[string]string{}
+	fileToName := map[string]string{}
+	out := &script.Script{}
+	for _, st := range s.Stmts {
+		switch v := st.(type) {
+		case *script.ImportStmt:
+			alias := v.Alias
+			if alias == "" {
+				alias = v.Module
+			}
+			switch v.Module {
+			case "pandas":
+				ren[alias] = pandasAlias
+				out.Stmts = append(out.Stmts, &script.ImportStmt{Module: "pandas", Alias: pandasAlias})
+				continue
+			case "numpy":
+				ren[alias] = numpyAlias
+				out.Stmts = append(out.Stmts, &script.ImportStmt{Module: "numpy", Alias: numpyAlias})
+				continue
+			}
+			out.Stmts = append(out.Stmts, v)
+			continue
+		case *script.AssignStmt:
+			// Rename uses in the value first, then decide the target name.
+			val := renameExpr(v.Value, ren)
+			tgt := v.Target
+			if id, ok := tgt.(*script.Ident); ok {
+				if file, ok := readCSVFile(val); ok {
+					canon, seen := fileToName[file]
+					if !seen {
+						canon = frameName(len(fileToName))
+						fileToName[file] = canon
+					}
+					ren[id.Name] = canon
+					out.Stmts = append(out.Stmts, &script.AssignStmt{Target: &script.Ident{Name: canon}, Value: val})
+					continue
+				}
+				if canon, ok := frameAlias(val, ren); ok && ren[id.Name] == "" && id.Name != canon && !conventionalNames[id.Name] {
+					// data = df.dropna()  →  df = df.dropna()
+					ren[id.Name] = canon
+					out.Stmts = append(out.Stmts, &script.AssignStmt{Target: &script.Ident{Name: canon}, Value: val})
+					continue
+				}
+			}
+			out.Stmts = append(out.Stmts, &script.AssignStmt{Target: renameExpr(tgt, ren), Value: val})
+			continue
+		case *script.ExprStmt:
+			out.Stmts = append(out.Stmts, &script.ExprStmt{X: renameExpr(v.X, ren)})
+			continue
+		default:
+			out.Stmts = append(out.Stmts, st)
+		}
+	}
+	return out
+}
+
+func frameName(i int) string {
+	if i == 0 {
+		return "df"
+	}
+	return fmt.Sprintf("df%d", i+1)
+}
+
+// readCSVFile reports the file argument when expr is pd.read_csv("file").
+func readCSVFile(e script.Expr) (string, bool) {
+	call, ok := e.(*script.CallExpr)
+	if !ok {
+		return "", false
+	}
+	attr, ok := call.Fn.(*script.AttrExpr)
+	if !ok || attr.Attr != "read_csv" {
+		return "", false
+	}
+	if id, ok := attr.X.(*script.Ident); !ok || id.Name != pandasAlias {
+		return "", false
+	}
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*script.StringLit)
+	if !ok {
+		return "", false
+	}
+	return lit.Value, true
+}
+
+// frameAlias reports the canonical frame variable when expr is a
+// frame-returning transformation of one (df.dropna(), df[mask],
+// pd.get_dummies(df)).
+func frameAlias(e script.Expr, ren map[string]string) (string, bool) {
+	base, ok := baseVar(e)
+	if !ok {
+		return "", false
+	}
+	if !isFrameVar(base) {
+		return "", false
+	}
+	switch v := e.(type) {
+	case *script.CallExpr:
+		if attr, ok := v.Fn.(*script.AttrExpr); ok && frameMethods[attr.Attr] {
+			return base, true
+		}
+		// pd.get_dummies(df)
+		if attr, ok := v.Fn.(*script.AttrExpr); ok && attr.Attr == "get_dummies" {
+			if len(v.Args) == 1 {
+				if inner, ok := baseVar(v.Args[0]); ok && isFrameVar(inner) {
+					return inner, true
+				}
+			}
+		}
+	case *script.IndexExpr:
+		// df[mask] or df[[...]] but not df["col"] (that is a Series).
+		switch v.Index.(type) {
+		case *script.StringLit:
+			return "", false
+		default:
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func isFrameVar(name string) bool {
+	if name == "df" {
+		return true
+	}
+	if len(name) > 2 && name[:2] == "df" {
+		for _, c := range name[2:] {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// baseVar returns the leftmost identifier of an expression chain.
+func baseVar(e script.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *script.Ident:
+		return v.Name, true
+	case *script.AttrExpr:
+		return baseVar(v.X)
+	case *script.IndexExpr:
+		return baseVar(v.X)
+	case *script.CallExpr:
+		if attr, ok := v.Fn.(*script.AttrExpr); ok {
+			if b, ok := baseVar(attr.X); ok {
+				if b == pandasAlias || b == numpyAlias {
+					// Module call: the data base is the first argument.
+					if len(v.Args) > 0 {
+						return baseVar(v.Args[0])
+					}
+					return b, true
+				}
+				return b, true
+			}
+		}
+		return baseVar(v.Fn)
+	}
+	return "", false
+}
+
+// renameExpr deep-copies an expression, applying the variable rename map.
+func renameExpr(e script.Expr, ren map[string]string) script.Expr {
+	switch v := e.(type) {
+	case *script.Ident:
+		if nn, ok := ren[v.Name]; ok {
+			return &script.Ident{Name: nn}
+		}
+		return &script.Ident{Name: v.Name}
+	case *script.NumberLit:
+		c := *v
+		return &c
+	case *script.StringLit:
+		c := *v
+		return &c
+	case *script.BoolLit:
+		c := *v
+		return &c
+	case *script.NoneLit:
+		return &script.NoneLit{}
+	case *script.AttrExpr:
+		return &script.AttrExpr{X: renameExpr(v.X, ren), Attr: v.Attr}
+	case *script.CallExpr:
+		c := &script.CallExpr{Fn: renameExpr(v.Fn, ren)}
+		for _, a := range v.Args {
+			c.Args = append(c.Args, renameExpr(a, ren))
+		}
+		for _, k := range v.Kwargs {
+			c.Kwargs = append(c.Kwargs, script.Kwarg{Name: k.Name, Value: renameExpr(k.Value, ren)})
+		}
+		return c
+	case *script.IndexExpr:
+		return &script.IndexExpr{X: renameExpr(v.X, ren), Index: renameExpr(v.Index, ren)}
+	case *script.SliceExpr:
+		c := &script.SliceExpr{}
+		for _, p := range v.Parts {
+			c.Parts = append(c.Parts, renameExpr(p, ren))
+		}
+		return c
+	case *script.ListExpr:
+		c := &script.ListExpr{}
+		for _, el := range v.Elems {
+			c.Elems = append(c.Elems, renameExpr(el, ren))
+		}
+		return c
+	case *script.DictExpr:
+		c := &script.DictExpr{}
+		for i := range v.Keys {
+			c.Keys = append(c.Keys, renameExpr(v.Keys[i], ren))
+			c.Values = append(c.Values, renameExpr(v.Values[i], ren))
+		}
+		return c
+	case *script.BinaryExpr:
+		return &script.BinaryExpr{Op: v.Op, X: renameExpr(v.X, ren), Y: renameExpr(v.Y, ren)}
+	case *script.UnaryExpr:
+		return &script.UnaryExpr{Op: v.Op, X: renameExpr(v.X, ren)}
+	}
+	return e
+}
+
+// readsWrites returns the variable names a statement reads and writes.
+func readsWrites(st script.Stmt) (reads, writes []string) {
+	rset := map[string]bool{}
+	wset := map[string]bool{}
+	switch v := st.(type) {
+	case *script.ImportStmt:
+		alias := v.Alias
+		if alias == "" {
+			alias = v.Module
+		}
+		wset[alias] = true
+	case *script.AssignStmt:
+		script.Walk(v.Value, func(e script.Expr) {
+			if id, ok := e.(*script.Ident); ok {
+				rset[id.Name] = true
+			}
+		})
+		switch tgt := v.Target.(type) {
+		case *script.Ident:
+			wset[tgt.Name] = true
+		default:
+			// df["c"] = ... both reads and writes the base variable.
+			if b, ok := baseVar(v.Target); ok {
+				rset[b] = true
+				wset[b] = true
+			}
+			script.Walk(tgt, func(e script.Expr) {
+				if id, ok := e.(*script.Ident); ok {
+					rset[id.Name] = true
+				}
+			})
+		}
+	case *script.ExprStmt:
+		script.Walk(v.X, func(e script.Expr) {
+			if id, ok := e.(*script.Ident); ok {
+				rset[id.Name] = true
+			}
+		})
+	}
+	for k := range rset {
+		reads = append(reads, k)
+	}
+	for k := range wset {
+		writes = append(writes, k)
+	}
+	sort.Strings(reads)
+	sort.Strings(writes)
+	return reads, writes
+}

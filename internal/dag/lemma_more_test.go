@@ -1,0 +1,141 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"lucidscript/internal/script"
+)
+
+func TestRenameExprCoversAllNodes(t *testing.T) {
+	// A statement touching every expression node type round-trips through
+	// lemmatization with the variable renamed everywhere.
+	s := script.MustParse(`import pandas as pd
+import numpy as np
+data = pd.read_csv("x.csv")
+data["m"] = data["c"].map({"a": 1, "b": -2})
+data = data[(data["x"] > 0) & (~(data["y"] == "s"))]
+data = data[["x", "y"]]
+data.loc[data["x"] > 1, "z"] = 0
+data["w"] = np.where(data["x"] > 1, True, False)
+`)
+	lem := Lemmatize(s).Source()
+	if strings.Contains(lem, "data") {
+		t.Fatalf("variable not renamed everywhere:\n%s", lem)
+	}
+	if !strings.Contains(lem, `df.loc[df["x"] > 1, "z"] = 0`) {
+		t.Fatalf("loc target not renamed:\n%s", lem)
+	}
+}
+
+func TestLemmatizeNumpyAlias(t *testing.T) {
+	s := script.MustParse("import numpy\nimport pandas as pd\ndf = pd.read_csv(\"x.csv\")\ndf[\"a\"] = numpy.log1p(df[\"a\"])\n")
+	lem := Lemmatize(s).Source()
+	if !strings.Contains(lem, "import numpy as np") || !strings.Contains(lem, "np.log1p") {
+		t.Fatalf("numpy alias not canonical:\n%s", lem)
+	}
+}
+
+func TestLemmatizeOtherImportPassThrough(t *testing.T) {
+	s := script.MustParse("import sklearn.preprocessing\nimport pandas as pd\ndf = pd.read_csv(\"x.csv\")\n")
+	lem := Lemmatize(s).Source()
+	if !strings.Contains(lem, "import sklearn.preprocessing") {
+		t.Fatalf("non-pandas import dropped:\n%s", lem)
+	}
+}
+
+func TestLemmatizeExprStmtAndLocChain(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+train = pd.read_csv("x.csv")
+train["Outcome"]
+update = train.sample(20).index
+train.loc[update, "d"] = 0
+`)
+	lem := Lemmatize(s).Source()
+	if !strings.Contains(lem, `df["Outcome"]`) || !strings.Contains(lem, `df.loc[update, "d"] = 0`) {
+		t.Fatalf("expr/loc not renamed:\n%s", lem)
+	}
+	// `update` holds an index, not a frame: it keeps its name.
+	if !strings.Contains(lem, "update = df.sample(20).index") {
+		t.Fatalf("index variable mangled:\n%s", lem)
+	}
+}
+
+func TestLemmatizeGetDummiesAlias(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+encoded = pd.get_dummies(df)
+encoded = encoded.dropna()
+`)
+	lem := Lemmatize(s).Source()
+	if strings.Contains(lem, "encoded") {
+		t.Fatalf("get_dummies alias not unified:\n%s", lem)
+	}
+}
+
+func TestLemmatizeMaskIndexAlias(t *testing.T) {
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+adults = df[df["Age"] > 18]
+adults = adults.dropna()
+`)
+	lem := Lemmatize(s).Source()
+	if strings.Contains(lem, "adults") {
+		t.Fatalf("mask-filter alias not unified:\n%s", lem)
+	}
+}
+
+func TestLemmatizeColumnAccessNotAliased(t *testing.T) {
+	// s = df["col"] is a Series, not a frame: the variable keeps its name.
+	s := script.MustParse(`import pandas as pd
+df = pd.read_csv("x.csv")
+ages = df["Age"]
+`)
+	lem := Lemmatize(s).Source()
+	if !strings.Contains(lem, `ages = df["Age"]`) {
+		t.Fatalf("series variable mangled:\n%s", lem)
+	}
+}
+
+func TestIsConventionalName(t *testing.T) {
+	for _, n := range []string{"X", "y", "X_train", "y_test", "labels"} {
+		if !IsConventionalName(n) {
+			t.Fatalf("%q should be conventional", n)
+		}
+	}
+	if IsConventionalName("df") || IsConventionalName("update") {
+		t.Fatal("non-split names should not be conventional")
+	}
+}
+
+func TestUnigramAtomsOfLocAndDicts(t *testing.T) {
+	st, err := script.ParseStmt(`df.loc[update, "c"] = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := UnigramAtoms(st)
+	if len(atoms) == 0 {
+		t.Fatalf("no atoms for loc statement")
+	}
+	st2, _ := script.ParseStmt(`df["m"] = df["c"].map({"a": 1})`)
+	atoms2 := UnigramAtoms(st2)
+	found := false
+	for _, a := range atoms2 {
+		if strings.Contains(a, "map") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("map invocation missing: %v", atoms2)
+	}
+}
+
+func TestUnigramAbstractsNestedInvocations(t *testing.T) {
+	st, _ := script.ParseStmt(`df["FareScaled"] = (df["Fare"] - df["Fare"].min()) / (df["Fare"].max() - df["Fare"].min())`)
+	atoms := UnigramAtoms(st)
+	for _, a := range atoms {
+		if strings.Count(a, "min()") > 1 {
+			t.Fatalf("nested invocations not abstracted: %q", a)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lucidscript/internal/script"
+)
+
+// statement pool for random straight-line scripts.
+var stmtPool = []string{
+	`df = df.fillna(df.mean())`,
+	`df = df.fillna(df.median())`,
+	`df = df.dropna()`,
+	`df = df[df["Age"] < 80]`,
+	`df = df[df["SkinThickness"] < 80]`,
+	`df["Sex"] = df["Sex"].map({"male": 0, "female": 1})`,
+	`df = pd.get_dummies(df)`,
+	`y = df["Outcome"]`,
+	`X = df.drop("Outcome", axis=1)`,
+	`df["FamilySize"] = df["SibSp"] + df["Parch"] + 1`,
+}
+
+func randomScript(pick []uint8) *script.Script {
+	src := "import pandas as pd\ndf = pd.read_csv(\"data.csv\")\n"
+	for _, p := range pick {
+		src += stmtPool[int(p)%len(stmtPool)] + "\n"
+	}
+	return script.MustParse(src)
+}
+
+// Property: lemmatization is idempotent.
+func TestLemmatizeIdempotentProperty(t *testing.T) {
+	f := func(pick []uint8) bool {
+		s := randomScript(pick)
+		once := Lemmatize(s)
+		twice := Lemmatize(once)
+		return once.Source() == twice.Source()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DAG has at most one edge per (read variable, line) pair, so
+// the edge count is bounded by the total number of reads.
+func TestEdgeCountBoundProperty(t *testing.T) {
+	f := func(pick []uint8) bool {
+		g := Build(randomScript(pick))
+		reads := 0
+		for _, li := range g.Lines {
+			reads += len(li.Reads)
+		}
+		return len(g.Edges) <= reads
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ToScript(Build(s).Lines) round-trips the lemmatized source.
+func TestDagRoundTripProperty(t *testing.T) {
+	f := func(pick []uint8) bool {
+		s := randomScript(pick)
+		g := Build(s)
+		return ToScript(g.Lines).Source() == g.Script.Source()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every edge's endpoints are line atoms of the graph.
+func TestEdgeEndpointsExistProperty(t *testing.T) {
+	f := func(pick []uint8) bool {
+		g := Build(randomScript(pick))
+		keys := map[string]bool{}
+		for _, li := range g.Lines {
+			keys[li.Key] = true
+		}
+		for _, e := range g.Edges {
+			if !keys[e.From] || !keys[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

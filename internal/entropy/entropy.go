@@ -1,0 +1,201 @@
+// Package entropy implements the paper's standardization measure: the
+// relative entropy (KL divergence) between a script's data-preparation-step
+// distribution P(x) and the corpus distribution Q(x), both defined over the
+// data-flow edge vocabulary of the DAG representation (Definition 4.1).
+//
+// The paper's RE is infinite when the script contains an edge with Q(x)=0;
+// we apply additive ε-smoothing over the union sample space so RE stays
+// finite while preserving the paper's orderings (see DESIGN.md).
+package entropy
+
+import (
+	"math"
+	"sort"
+
+	"lucidscript/internal/dag"
+)
+
+// Epsilon is the additive smoothing pseudo-count applied to Q(x).
+const Epsilon = 0.5
+
+// Vocab holds the search-space statistics curated offline from a corpus
+// (Section 5.1): atom and edge vocabularies with counts, plus the relative
+// position of each line atom inside its source scripts (used to place add
+// transformations).
+type Vocab struct {
+	// EdgeCounts maps edge keys to occurrence counts across the corpus.
+	EdgeCounts map[string]int
+	// TotalEdges is the sum over EdgeCounts.
+	TotalEdges int
+	// LineCounts maps line-atom keys to occurrence counts.
+	LineCounts map[string]int
+	// UnigramCounts maps 1-gram atom keys to occurrence counts.
+	UnigramCounts map[string]int
+	// Lines maps a line-atom key to a representative LineInfo, usable as an
+	// insertable statement (all corpus scripts are lemmatized, so the atom is
+	// directly transplantable).
+	Lines map[string]dag.LineInfo
+	// MeanPos maps a line-atom key to its mean relative position in [0,1]
+	// across the corpus scripts that contain it.
+	MeanPos map[string]float64
+	// NumScripts is the corpus size.
+	NumScripts int
+}
+
+// BuildVocab curates the search space from corpus DAGs with every script
+// weighted equally.
+func BuildVocab(graphs []*dag.Graph) *Vocab {
+	return BuildVocabWeighted(graphs, nil)
+}
+
+// BuildVocabWeighted curates the search space with per-script integer
+// weights (Section 8 suggests weighting scripts by expert authorship or
+// Kaggle vote counts). A weight w makes the script count as w copies in
+// every distribution; nil weights or non-positive entries default to 1.
+func BuildVocabWeighted(graphs []*dag.Graph, weights []int) *Vocab {
+	v := &Vocab{
+		EdgeCounts:    map[string]int{},
+		LineCounts:    map[string]int{},
+		UnigramCounts: map[string]int{},
+		Lines:         map[string]dag.LineInfo{},
+		MeanPos:       map[string]float64{},
+		NumScripts:    0,
+	}
+	posSum := map[string]float64{}
+	posN := map[string]int{}
+	for gi, g := range graphs {
+		w := 1
+		if gi < len(weights) && weights[gi] > 0 {
+			w = weights[gi]
+		}
+		v.NumScripts += w
+		for _, e := range g.Edges {
+			v.EdgeCounts[e.Key()] += w
+			v.TotalEdges += w
+		}
+		n := len(g.Lines)
+		for i, li := range g.Lines {
+			v.LineCounts[li.Key] += w
+			if _, ok := v.Lines[li.Key]; !ok {
+				v.Lines[li.Key] = li
+			}
+			if n > 1 {
+				posSum[li.Key] += float64(w) * float64(i) / float64(n-1)
+			}
+			posN[li.Key] += w
+		}
+		for _, u := range g.Unigrams {
+			v.UnigramCounts[u] += w
+		}
+	}
+	for k, n := range posN {
+		v.MeanPos[k] = posSum[k] / float64(n)
+	}
+	return v
+}
+
+// NumUniqueEdges returns |V_E'|, the edge vocabulary size.
+func (v *Vocab) NumUniqueEdges() int { return len(v.EdgeCounts) }
+
+// NumUniqueLines returns the number of distinct line (n-gram) atoms.
+func (v *Vocab) NumUniqueLines() int { return len(v.LineCounts) }
+
+// NumUniqueUnigrams returns the number of distinct 1-gram atoms.
+func (v *Vocab) NumUniqueUnigrams() int { return len(v.UnigramCounts) }
+
+// SortedLineKeys returns the line-atom keys ordered by descending corpus
+// count, ties broken lexicographically, for deterministic enumeration.
+func (v *Vocab) SortedLineKeys() []string {
+	keys := make([]string, 0, len(v.LineCounts))
+	for k := range v.LineCounts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if v.LineCounts[keys[i]] != v.LineCounts[keys[j]] {
+			return v.LineCounts[keys[i]] > v.LineCounts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// REFromEdges computes the smoothed relative entropy of a script whose
+// data-flow edges are given as keys, against the corpus distribution.
+// An empty edge list yields the maximum possible RE over the union space
+// (a script with no steps is maximally non-standard relative to any corpus
+// with steps; the paper leaves this case undefined).
+func (v *Vocab) REFromEdges(edgeKeys []string) float64 {
+	p := map[string]int{}
+	for _, k := range edgeKeys {
+		p[k]++
+	}
+	// Union sample space: corpus edges plus script edges.
+	space := make(map[string]bool, len(v.EdgeCounts)+len(p))
+	for k := range v.EdgeCounts {
+		space[k] = true
+	}
+	for k := range p {
+		space[k] = true
+	}
+	qTotal := float64(v.TotalEdges) + Epsilon*float64(len(space))
+	pTotal := float64(len(edgeKeys))
+	// Sum in sorted key order so the floating-point result is identical
+	// across runs (map iteration order would otherwise perturb ties in the
+	// beam search).
+	if pTotal == 0 {
+		// Treat as a uniform P over the space: maximally uninformative.
+		n := float64(len(space))
+		if n == 0 {
+			return 0
+		}
+		keys := make([]string, 0, len(space))
+		for k := range space {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		re := 0.0
+		for _, k := range keys {
+			px := 1.0 / n
+			qx := (float64(v.EdgeCounts[k]) + Epsilon) / qTotal
+			re += px * math.Log(px/qx)
+		}
+		return re
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	re := 0.0
+	for _, k := range keys {
+		px := float64(p[k]) / pTotal
+		qx := (float64(v.EdgeCounts[k]) + Epsilon) / qTotal
+		re += px * math.Log(px/qx)
+	}
+	return re
+}
+
+// RE computes the smoothed relative entropy of a script DAG w.r.t. the
+// corpus (Definition 4.1).
+func (v *Vocab) RE(g *dag.Graph) float64 {
+	keys := make([]string, len(g.Edges))
+	for i, e := range g.Edges {
+		keys[i] = e.Key()
+	}
+	return v.REFromEdges(keys)
+}
+
+// RELines computes the smoothed relative entropy of a line-atom sequence,
+// deriving its edges first. This is the scoring primitive of the search.
+func (v *Vocab) RELines(lines []dag.LineInfo) float64 {
+	return v.REFromEdges(dag.EdgeKeysOf(lines))
+}
+
+// Improvement returns the paper's "% improvement" of a modified script over
+// the original: (RE(s_u) - RE(ŝ_u)) / RE(s_u) × 100.
+func Improvement(reOrig, reNew float64) float64 {
+	if reOrig == 0 {
+		return 0
+	}
+	return (reOrig - reNew) / reOrig * 100
+}

@@ -1,0 +1,169 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses CSV data with a header row into a frame, inferring column
+// kinds: a column is Int if every non-empty cell parses as an integer,
+// Float if every non-empty cell parses as a number, Bool if every non-empty
+// cell is true/false, otherwise String. Empty cells become nulls.
+func ReadCSV(r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("frame: csv has no header row")
+	}
+	header := records[0]
+	rows := records[1:]
+	f := New()
+	for j, name := range header {
+		cells := make([]string, len(rows))
+		for i, rec := range rows {
+			if j < len(rec) {
+				cells[i] = rec[j]
+			}
+		}
+		if err := f.AddColumn(inferColumn(name, cells)); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ReadCSVFile opens and parses the named CSV file.
+func ReadCSVFile(path string) (*Frame, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return ReadCSV(fh)
+}
+
+// ReadCSVString parses CSV content held in a string.
+func ReadCSVString(data string) (*Frame, error) {
+	return ReadCSV(strings.NewReader(data))
+}
+
+func inferColumn(name string, cells []string) *Series {
+	isInt, isFloat, isBool := true, true, true
+	any := false
+	for _, c := range cells {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		any = true
+		if _, err := strconv.ParseInt(c, 10, 64); err != nil {
+			isInt = false
+		}
+		if _, err := strconv.ParseFloat(c, 64); err != nil {
+			isFloat = false
+		}
+		lc := strings.ToLower(c)
+		if lc != "true" && lc != "false" {
+			isBool = false
+		}
+	}
+	if !any {
+		return NewEmptySeries(name, String, len(cells))
+	}
+	switch {
+	case isInt:
+		out := NewEmptySeries(name, Int, len(cells))
+		for i, c := range cells {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			v, _ := strconv.ParseInt(c, 10, 64)
+			out.SetInt(i, v)
+		}
+		// Keep ints as Int only when no nulls; otherwise promote to Float so
+		// nulls are representable as NaN (mirrors pandas int→float promotion).
+		if out.NullCount() > 0 {
+			return out.AsType(Float)
+		}
+		return out
+	case isFloat:
+		vals := make([]float64, len(cells))
+		for i, c := range cells {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				vals[i] = math.NaN()
+				continue
+			}
+			vals[i], _ = strconv.ParseFloat(c, 64)
+		}
+		return NewFloatSeries(name, vals)
+	case isBool:
+		out := NewEmptySeries(name, Bool, len(cells))
+		for i, c := range cells {
+			c = strings.ToLower(strings.TrimSpace(c))
+			if c == "" {
+				continue
+			}
+			out.SetBool(i, c == "true")
+		}
+		return out
+	default:
+		out := NewEmptySeries(name, String, len(cells))
+		for i, c := range cells {
+			if strings.TrimSpace(c) == "" {
+				continue
+			}
+			out.SetString(i, c)
+		}
+		return out
+	}
+}
+
+// WriteCSV serializes the frame as CSV with a header row. Nulls are written
+// as empty cells.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.ColumnNames()); err != nil {
+		return err
+	}
+	for i := 0; i < f.NumRows(); i++ {
+		rec := make([]string, f.NumCols())
+		for j, c := range f.cols {
+			if c.IsValid(i) {
+				rec[j] = c.StringAt(i)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile serializes the frame to the named file.
+func (f *Frame) WriteCSVFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return f.WriteCSV(fh)
+}
+
+// CSVString serializes the frame to a CSV string (for tests and fixtures).
+func (f *Frame) CSVString() string {
+	var b strings.Builder
+	_ = f.WriteCSV(&b)
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package frame
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchFrame builds an n-row mixed-type frame for operator benchmarks.
+func benchFrame(b *testing.B, n int) *Frame {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var sb strings.Builder
+	sb.WriteString("num,cat,flag,price\n")
+	cats := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < n; i++ {
+		numCell := strconv.FormatFloat(rng.NormFloat64()*10, 'f', 3, 64)
+		if rng.Float64() < 0.05 {
+			numCell = "" // nulls for fillna paths
+		}
+		sb.WriteString(numCell)
+		sb.WriteByte(',')
+		sb.WriteString(cats[rng.Intn(len(cats))])
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(rng.Intn(2)))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatFloat(rng.Float64()*100, 'f', 2, 64))
+		sb.WriteByte('\n')
+	}
+	f, err := ReadCSVString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+func BenchmarkFillNAMean(b *testing.B) {
+	f := benchFrame(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FillNA(FillMean)
+	}
+}
+
+func BenchmarkFilterMask(b *testing.B) {
+	f := benchFrame(b, 10000)
+	col, _ := f.Column("price")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := col.Compare(Gt, 50.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Filter(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetDummies(b *testing.B) {
+	f := benchFrame(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.GetDummies()
+	}
+}
+
+func BenchmarkSortBy(b *testing.B) {
+	f := benchFrame(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.SortBy("price", true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByMean(b *testing.B) {
+	f := benchFrame(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.GroupBy("cat", "price", AggMean); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeInner(b *testing.B) {
+	left := benchFrame(b, 10000)
+	key := NewEmptySeries("k", Int, left.NumRows())
+	for i := 0; i < key.Len(); i++ {
+		key.SetInt(i, int64(i%500))
+	}
+	_ = left.AddColumn(key)
+	rightKeys := make([]int64, 500)
+	names := make([]string, 500)
+	for i := range rightKeys {
+		rightKeys[i] = int64(i)
+		names[i] = "name" + strconv.Itoa(i)
+	}
+	right, err := FromSeries(NewIntSeries("k", rightKeys), NewStringSeries("name", names))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Merge(left, right, "k", InnerJoin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowStrings(b *testing.B) {
+	f := benchFrame(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RowStrings()
+	}
+}

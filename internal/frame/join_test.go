@@ -1,0 +1,131 @@
+package frame
+
+import (
+	"testing"
+)
+
+func TestMergeInner(t *testing.T) {
+	left := mustCSVt(t, "item_id,qty\n1,10\n2,20\n3,30\n")
+	right := mustCSVt(t, "item_id,name\n1,apple\n3,pear\n9,ghost\n")
+	out, err := Merge(left, right, "item_id", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+	name, _ := out.Column("name")
+	if name.StringAt(0) != "apple" || name.StringAt(1) != "pear" {
+		t.Fatalf("joined names = %q %q", name.StringAt(0), name.StringAt(1))
+	}
+	if out.HasColumn("item_id_y") {
+		t.Fatal("key column should not duplicate")
+	}
+}
+
+func TestMergeLeft(t *testing.T) {
+	left := mustCSVt(t, "k,v\n1,a\n2,b\n")
+	right := mustCSVt(t, "k,w\n1,x\n")
+	out, err := Merge(left, right, "k", LeftJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	w, _ := out.Column("w")
+	if !w.IsValid(0) || w.IsValid(1) {
+		t.Fatal("unmatched left row should get null")
+	}
+}
+
+func TestMergeFirstMatchWins(t *testing.T) {
+	left := mustCSVt(t, "k\n1\n")
+	right := mustCSVt(t, "k,w\n1,first\n1,second\n")
+	out, err := Merge(left, right, "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := out.Column("w")
+	if out.NumRows() != 1 || w.StringAt(0) != "first" {
+		t.Fatalf("merge = %d rows, w=%q", out.NumRows(), w.StringAt(0))
+	}
+}
+
+func TestMergeColumnCollision(t *testing.T) {
+	left := mustCSVt(t, "k,v\n1,a\n")
+	right := mustCSVt(t, "k,v\n1,b\n")
+	out, err := Merge(left, right, "k", InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasColumn("v") || !out.HasColumn("v_y") {
+		t.Fatalf("columns = %v", out.ColumnNames())
+	}
+}
+
+func TestMergeMissingKey(t *testing.T) {
+	left := mustCSVt(t, "k\n1\n")
+	right := mustCSVt(t, "x\n1\n")
+	if _, err := Merge(left, right, "k", InnerJoin); err == nil {
+		t.Fatal("missing right key should error")
+	}
+	if _, err := Merge(right, left, "k", InnerJoin); err == nil {
+		t.Fatal("missing left key should error")
+	}
+}
+
+func TestMergeNullKeys(t *testing.T) {
+	left := mustCSVt(t, "k,v\n1,a\n,b\n")
+	right := mustCSVt(t, "k,w\n1,x\n")
+	inner, _ := Merge(left, right, "k", InnerJoin)
+	if inner.NumRows() != 1 {
+		t.Fatalf("null keys must not match: %d rows", inner.NumRows())
+	}
+	lj, _ := Merge(left, right, "k", LeftJoin)
+	if lj.NumRows() != 2 {
+		t.Fatalf("left join keeps null-key rows: %d rows", lj.NumRows())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := mustCSVt(t, "x,y\n1,2\n3,4\n")
+	b := mustCSVt(t, "x,z\n5,9\n")
+	out, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 || out.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", out.NumRows(), out.NumCols())
+	}
+	y, _ := out.Column("y")
+	if y.IsValid(2) {
+		t.Fatal("missing column cells should be null")
+	}
+	z, _ := out.Column("z")
+	if !z.IsValid(2) || z.Float(2) != 9 {
+		t.Fatal("concat lost values")
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	out, err := Concat()
+	if err != nil || out.NumRows() != 0 {
+		t.Fatal("empty concat")
+	}
+}
+
+func TestJoinKindString(t *testing.T) {
+	if InnerJoin.String() != "inner" || LeftJoin.String() != "left" {
+		t.Fatal("join kind names")
+	}
+}
+
+func mustCSVt(t *testing.T, s string) *Frame {
+	t.Helper()
+	f, err := ReadCSVString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

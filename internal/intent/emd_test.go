@@ -1,0 +1,148 @@
+package intent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lucidscript/internal/frame"
+)
+
+func TestEMDIdentical(t *testing.T) {
+	f := mustCSV(t, "a,b\n1,10\n2,20\n3,30\n")
+	d, err := EMD(f, f.Clone())
+	if err != nil || d != 0 {
+		t.Fatalf("EMD = %v err=%v", d, err)
+	}
+}
+
+func TestEMDShiftedDistribution(t *testing.T) {
+	a := mustCSV(t, "a\n0\n10\n")
+	b := mustCSV(t, "a\n5\n15\n")
+	d, err := EMD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift of 5 over a range of 10 → normalized distance 0.5.
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("EMD = %v, want 0.5", d)
+	}
+}
+
+func TestEMDColumnAddedOrRemoved(t *testing.T) {
+	a := mustCSV(t, "a\n1\n2\n")
+	b := mustCSV(t, "a,extra\n1,9\n2,9\n")
+	d, err := EMD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column `a` identical (0) + column `extra` missing from a (1) → 0.5.
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("EMD = %v, want 0.5", d)
+	}
+}
+
+func TestEMDIgnoresStringColumns(t *testing.T) {
+	a := mustCSV(t, "a,s\n1,x\n2,y\n")
+	b := mustCSV(t, "a,s\n1,completely\n2,different\n")
+	d, err := EMD(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("EMD over string change = %v", d)
+	}
+}
+
+func TestEMDNil(t *testing.T) {
+	f := mustCSV(t, "a\n1\n")
+	if _, err := EMD(nil, f); err == nil {
+		t.Fatal("nil should error")
+	}
+}
+
+func TestEMDEmptySides(t *testing.T) {
+	a := mustCSV(t, "a\n1\n").Head(0)
+	b := mustCSV(t, "a\n1\n2\n")
+	d, err := EMD(a, b)
+	if err != nil || d != 1 {
+		t.Fatalf("empty-vs-nonempty EMD = %v", d)
+	}
+	d2, _ := EMD(a, a.Clone())
+	if d2 != 0 {
+		t.Fatalf("empty-vs-empty EMD = %v", d2)
+	}
+}
+
+func TestEMDConstraint(t *testing.T) {
+	a := mustCSV(t, "a\n0\n10\n")
+	b := mustCSV(t, "a\n5\n15\n")
+	c := Constraint{Measure: MeasureEMD, Tau: 0.1}
+	ok, val, err := c.Satisfied(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("EMD %v should violate τ=0.1", val)
+	}
+	c.Tau = 0.6
+	ok, _, _ = c.Satisfied(a, b)
+	if !ok {
+		t.Fatal("EMD 0.5 should satisfy τ=0.6")
+	}
+}
+
+func TestRowJaccardConstraint(t *testing.T) {
+	a := mustCSV(t, "a\n1\n2\n3\n4\n5\n")
+	b := mustCSV(t, "a\n1\n2\n3\n4\n")
+	c := Constraint{Measure: MeasureRowJaccard, Tau: 0.9}
+	ok, val, err := c.Satisfied(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || math.Abs(val-0.8) > 1e-9 {
+		t.Fatalf("row jaccard = %v ok=%v", val, ok)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := quantile(sorted, 0.5); math.Abs(q-5) > 1e-9 {
+		t.Fatalf("quantile = %v", q)
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	if quantile(sorted, 1) != 10 {
+		t.Fatal("q=1")
+	}
+}
+
+// Property: EMD is symmetric up to range normalization for same-range
+// inputs, non-negative, and ≤ 1.
+func TestEMDRangeProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		if len(xs) == 0 || len(ys) == 0 {
+			return true
+		}
+		a := frameFromBytes(t, xs)
+		b := frameFromBytes(t, ys)
+		d, err := EMD(a, b)
+		if err != nil {
+			return false
+		}
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frameFromBytes(t *testing.T, xs []uint8) *frame.Frame {
+	vals := make([]float64, len(xs))
+	for i, x := range xs {
+		vals[i] = float64(x)
+	}
+	f, err := frame.FromSeries(frame.NewFloatSeries("a", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

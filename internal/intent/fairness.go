@@ -1,0 +1,89 @@
+package intent
+
+import (
+	"fmt"
+	"math"
+
+	"lucidscript/internal/frame"
+	"lucidscript/internal/ml"
+)
+
+// DemographicParity measures the downstream model's demographic-parity gap
+// on the prepared dataset: |P(ŷ=1 | A=g₀) − P(ŷ=1 | A=g₁)| where A is the
+// protected column (its most frequent value forms group g₀, everything else
+// g₁) and predictions come from cross-validated models trained without the
+// protected column. The result is in [0, 1]; 0 means the model treats the
+// groups identically. This supports the fairness-aware intent constraint
+// the paper's Section 8 proposes (citing "Automated data cleaning can hurt
+// fairness in ML-based decision making").
+func DemographicParity(out *frame.Frame, cfg ModelConfig, protected string) (float64, error) {
+	if out == nil {
+		return 0, ErrNoOutput
+	}
+	cfg.defaults()
+	target, err := out.Column(cfg.Target)
+	if err != nil {
+		return 0, fmt.Errorf("intent: target column: %w", err)
+	}
+	prot, err := out.Column(protected)
+	if err != nil {
+		return 0, fmt.Errorf("intent: protected column: %w", err)
+	}
+	x, _ := out.NumericMatrix(cfg.Target, protected)
+	y, err := binarize(target)
+	if err != nil {
+		return 0, err
+	}
+	ds, err := ml.NewDataset(x, y)
+	if err != nil {
+		return 0, err
+	}
+	fit := func(train *ml.Dataset) (ml.Classifier, error) {
+		if train.NumFeatures() == 0 {
+			return ml.TrainMajority(train), nil
+		}
+		return ml.TrainLogistic(train, ml.LogisticConfig{Epochs: cfg.Epochs})
+	}
+	preds, err := ml.CrossValPredictions(ds, 4, fit)
+	if err != nil {
+		return 0, err
+	}
+	mode, ok := prot.Mode()
+	if !ok {
+		return 0, fmt.Errorf("intent: protected column %q is all null", protected)
+	}
+	var pos0, n0, pos1, n1 float64
+	for i := 0; i < prot.Len(); i++ {
+		if !prot.IsValid(i) {
+			continue
+		}
+		if prot.StringAt(i) == mode {
+			n0++
+			pos0 += float64(preds[i])
+		} else {
+			n1++
+			pos1 += float64(preds[i])
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		// A single group has no parity gap by definition.
+		return 0, nil
+	}
+	return math.Abs(pos0/n0 - pos1/n1), nil
+}
+
+// FairnessDelta returns the absolute change in the demographic-parity gap
+// between the original and modified outputs: a preparation change that makes
+// the downstream model substantially less (or more) fair violates a
+// fairness intent constraint.
+func FairnessDelta(origOut, newOut *frame.Frame, cfg ModelConfig, protected string) (float64, error) {
+	a, err := DemographicParity(origOut, cfg, protected)
+	if err != nil {
+		return 0, err
+	}
+	b, err := DemographicParity(newOut, cfg, protected)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(a - b), nil
+}

@@ -1,0 +1,118 @@
+package intent
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lucidscript/internal/frame"
+)
+
+// biasedFrame builds a dataset where the feature (and thus the model's
+// predictions) correlates with group membership when biased is true.
+func biasedFrame(t *testing.T, n int, biased bool, seed int64) *frame.Frame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("score,group,Outcome\n")
+	for i := 0; i < n; i++ {
+		g := "a"
+		if rng.Float64() < 0.5 {
+			g = "b"
+		}
+		score := rng.NormFloat64()
+		if biased && g == "b" {
+			score += 2 // group b systematically scores higher
+		}
+		label := 0
+		if score > 0.5 {
+			label = 1
+		}
+		b.WriteString(strconv.FormatFloat(score, 'f', 3, 64) + "," + g + "," + strconv.Itoa(label) + "\n")
+	}
+	f, err := frame.ReadCSVString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDemographicParityDetectsBias(t *testing.T) {
+	fair := biasedFrame(t, 400, false, 1)
+	biased := biasedFrame(t, 400, true, 1)
+	dpFair, err := DemographicParity(fair, ModelConfig{Target: "Outcome"}, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpBiased, err := DemographicParity(biased, ModelConfig{Target: "Outcome"}, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpBiased < dpFair+0.2 {
+		t.Fatalf("biased DP (%v) should clearly exceed fair DP (%v)", dpBiased, dpFair)
+	}
+	if dpFair < 0 || dpFair > 1 || dpBiased < 0 || dpBiased > 1 {
+		t.Fatalf("DP out of range: %v %v", dpFair, dpBiased)
+	}
+}
+
+func TestDemographicParityErrors(t *testing.T) {
+	f := biasedFrame(t, 50, false, 2)
+	if _, err := DemographicParity(nil, ModelConfig{Target: "Outcome"}, "group"); err == nil {
+		t.Fatal("nil frame should error")
+	}
+	if _, err := DemographicParity(f, ModelConfig{Target: "Nope"}, "group"); err == nil {
+		t.Fatal("missing target should error")
+	}
+	if _, err := DemographicParity(f, ModelConfig{Target: "Outcome"}, "Nope"); err == nil {
+		t.Fatal("missing protected column should error")
+	}
+}
+
+func TestDemographicParitySingleGroup(t *testing.T) {
+	f := mustCSV(t, "score,group,Outcome\n1,a,1\n2,a,0\n3,a,1\n4,a,0\n")
+	dp, err := DemographicParity(f, ModelConfig{Target: "Outcome"}, "group")
+	if err != nil || dp != 0 {
+		t.Fatalf("single-group DP = %v err=%v", dp, err)
+	}
+}
+
+func TestFairnessDeltaAndConstraint(t *testing.T) {
+	f := biasedFrame(t, 300, true, 3)
+	d, err := FairnessDelta(f, f.Clone(), ModelConfig{Target: "Outcome"}, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("identical outputs should have zero fairness delta, got %v", d)
+	}
+	c := Constraint{
+		Measure: MeasureFairness,
+		Tau:     0.05,
+		Model:   ModelConfig{Target: "Outcome", Protected: "group"},
+	}
+	ok, val, err := c.Satisfied(f, f.Clone())
+	if err != nil || !ok || val != 0 {
+		t.Fatalf("identity should satisfy fairness: ok=%v val=%v err=%v", ok, val, err)
+	}
+	// Destroying the predictive feature changes the parity gap.
+	broken := f.Clone()
+	score, _ := broken.Column("score")
+	for i := 0; i < score.Len(); i++ {
+		score.SetFloat(i, 0)
+	}
+	ok2, val2, err := c.Satisfied(f, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 || val2 < 0.05 {
+		t.Fatalf("feature destruction should violate the fairness constraint: ok=%v val=%v", ok2, val2)
+	}
+}
+
+func TestMeasureFairnessName(t *testing.T) {
+	if MeasureFairness.String() != "fairness" {
+		t.Fatal("measure name")
+	}
+}

@@ -1,0 +1,617 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"lucidscript/internal/frame"
+)
+
+// getVal evaluates a one-variable program and returns the variable.
+func getVal(t *testing.T, src, name string, sources map[string]*frame.Frame) Value {
+	t.Helper()
+	res := run(t, src, sources)
+	v, ok := res.Env.Get(name)
+	if !ok {
+		t.Fatalf("variable %q not set", name)
+	}
+	return v
+}
+
+func TestNumpyScalarFunctions(t *testing.T) {
+	srcs := titanicSources(t)
+	cases := map[string]float64{
+		"a = np.log1p(0)": 0,
+		"a = np.log(1)":   0,
+		"a = np.sqrt(9)":  3,
+		"a = np.abs(-4)":  4,
+		"a = np.exp(0)":   1,
+	}
+	for line, want := range cases {
+		v := getVal(t, "import numpy as np\nimport pandas as pd\ndf = pd.read_csv(\"train.csv\")\n"+line+"\n", "a", srcs)
+		if got := v.(float64); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", line, got, want)
+		}
+	}
+}
+
+func TestNumpyElementwiseVariants(t *testing.T) {
+	res := run(t, `import pandas as pd
+import numpy as np
+df = pd.read_csv("train.csv")
+df["s"] = np.sqrt(df["Fare"])
+df["e"] = np.exp(df["Survived"])
+df["l"] = np.log(df["Pclass"])
+df["ab"] = np.abs(df["Age"] - 30)
+`, titanicSources(t))
+	s, _ := res.Main.Column("s")
+	if math.Abs(s.Float(0)-math.Sqrt(7.25)) > 1e-9 {
+		t.Fatalf("sqrt = %v", s.Float(0))
+	}
+	ab, _ := res.Main.Column("ab")
+	if math.Abs(ab.Float(0)-8) > 1e-9 {
+		t.Fatalf("abs = %v", ab.Float(0))
+	}
+}
+
+func TestWhereVariants(t *testing.T) {
+	res := run(t, `import pandas as pd
+import numpy as np
+df = pd.read_csv("train.csv")
+df["cls"] = np.where(df["Sex"] == "male", "M", "F")
+df["capped"] = np.where(df["Fare"] > 50, 50, df["Fare"])
+df["mix"] = np.where(df["Age"] > 30, df["Age"], df["Fare"])
+`, titanicSources(t))
+	cls, _ := res.Main.Column("cls")
+	if cls.StringAt(0) != "M" || cls.StringAt(1) != "F" {
+		t.Fatalf("string where = %q %q", cls.StringAt(0), cls.StringAt(1))
+	}
+	capped, _ := res.Main.Column("capped")
+	if capped.Float(1) != 50 || math.Abs(capped.Float(0)-7.25) > 1e-9 {
+		t.Fatalf("series-fallback where = %v %v", capped.Float(1), capped.Float(0))
+	}
+	mix, _ := res.Main.Column("mix")
+	if math.Abs(mix.Float(1)-38) > 1e-9 || math.Abs(mix.Float(0)-7.25) > 1e-9 {
+		t.Fatalf("series/series where = %v %v", mix.Float(1), mix.Float(0))
+	}
+}
+
+func TestWhereErrors(t *testing.T) {
+	srcs := titanicSources(t)
+	mustFail(t, "import numpy as np\nimport pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = np.where(df[\"Age\"], 1, 0)", srcs, "mask")
+	mustFail(t, "import numpy as np\nimport pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = np.where(df[\"Age\"] > 1, 1, \"a\")", srcs, "share a type")
+	mustFail(t, "import numpy as np\nimport pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = np.where(df[\"Age\"] > 1, 1)", srcs, "np.where")
+}
+
+func TestDFFillnaScalarVariants(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df.fillna(0)
+`, titanicSources(t))
+	age, _ := res.Main.Column("Age")
+	if age.NullCount() != 0 || age.Float(4) != 0 {
+		t.Fatal("fillna(0) numeric")
+	}
+	emb, _ := res.Main.Column("Embarked")
+	if emb.NullCount() != 1 {
+		t.Fatal("fillna(0) should skip string columns")
+	}
+	res2 := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df.fillna("missing")
+`, titanicSources(t))
+	emb2, _ := res2.Main.Column("Embarked")
+	if emb2.StringAt(4) != "missing" {
+		t.Fatal("fillna(str) string column")
+	}
+	age2, _ := res2.Main.Column("Age")
+	if age2.NullCount() != 1 {
+		t.Fatal("fillna(str) should skip numeric columns")
+	}
+	res3 := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df.fillna(df.median())
+df = df.fillna(df.mode())
+`, titanicSources(t))
+	emb3, _ := res3.Main.Column("Embarked")
+	if emb3.NullCount() != 0 {
+		t.Fatal("mode fill should fill strings")
+	}
+}
+
+func TestSeriesMethodSurface(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+a = df["Age"].std()
+b = df["Age"].min()
+c = df["Age"].max()
+d = df["Fare"].median()
+m = df["Embarked"].mode()
+mn = df["Pclass"].mode()
+r = df["Fare"].round()
+ab = df["Fare"].abs()
+cl = df["Fare"].clip(5, 20)
+`, titanicSources(t))
+	if v, _ := res.Env.Get("m"); v.(string) != "S" {
+		t.Fatalf("mode = %v", v)
+	}
+	if v, _ := res.Env.Get("mn"); v.(float64) != 3 {
+		t.Fatalf("numeric mode = %v", v)
+	}
+	if v, _ := res.Env.Get("b"); v.(float64) != 2 {
+		t.Fatalf("min = %v", v)
+	}
+	cl, _ := res.Env.Get("cl")
+	if cl.(*frame.Series).Max() > 20 {
+		t.Fatal("clip")
+	}
+}
+
+func TestSeriesReplaceDict(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df["Embarked"] = df["Embarked"].replace({"S": "Southampton"})
+`, titanicSources(t))
+	emb, _ := res.Main.Column("Embarked")
+	if emb.StringAt(0) != "Southampton" || emb.StringAt(1) != "C" {
+		t.Fatalf("replace = %q %q", emb.StringAt(0), emb.StringAt(1))
+	}
+}
+
+func TestStrAccessorSurface(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df["E1"] = df["Embarked"].str.upper()
+df["E2"] = df["Embarked"].str.strip()
+df["E3"] = df["Embarked"].str.replace("S", "X")
+df["L"] = df["Embarked"].str.len()
+m = df["Sex"].str.contains("ale")
+f = df[df["Sex"].str.contains("fem")]
+`, titanicSources(t))
+	e3, _ := res.Main.Column("E3")
+	if e3.StringAt(0) != "X" {
+		t.Fatalf("str.replace = %q", e3.StringAt(0))
+	}
+	l, _ := res.Main.Column("L")
+	if l.Float(0) != 1 {
+		t.Fatalf("str.len = %v", l.Float(0))
+	}
+	fv, _ := res.Env.Get("f")
+	if fv.(*DF).F.NumRows() != 4 {
+		t.Fatalf("contains filter rows = %d", fv.(*DF).F.NumRows())
+	}
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+x = df["Sex"].str.explode()
+`, titanicSources(t), "no method")
+}
+
+func TestBroadcastAssignments(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df["const"] = 7
+df["label"] = "x"
+df["flag"] = True
+df["mask"] = df["Age"] > 30
+`, titanicSources(t))
+	c, _ := res.Main.Column("const")
+	if c.Float(3) != 7 {
+		t.Fatal("float broadcast")
+	}
+	l, _ := res.Main.Column("label")
+	if l.StringAt(0) != "x" {
+		t.Fatal("string broadcast")
+	}
+	f, _ := res.Main.Column("flag")
+	if !f.BoolAt(0) {
+		t.Fatal("bool broadcast")
+	}
+	m, _ := res.Main.Column("mask")
+	if m.Kind() != frame.Bool {
+		t.Fatal("mask broadcast")
+	}
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df["bad"] = df.mean()
+`, titanicSources(t), "cannot assign")
+}
+
+func TestCompareBranches(t *testing.T) {
+	srcs := titanicSources(t)
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+a = 30 < df["Age"]
+b = df["Age"] != df["Fare"]
+c = df["Sex"] == df["Embarked"]
+d = 1 < 2
+e = "a" < "b"
+`, srcs)
+	a, _ := res.Env.Get("a")
+	if a.(frame.Mask).Count() != 3 {
+		t.Fatalf("reversed compare count = %d", a.(frame.Mask).Count())
+	}
+	if d, _ := res.Env.Get("d"); d.(bool) != true {
+		t.Fatal("scalar compare")
+	}
+	if e, _ := res.Env.Get("e"); e.(bool) != true {
+		t.Fatal("string compare")
+	}
+	c, _ := res.Env.Get("c")
+	if c.(frame.Mask).Count() != 0 {
+		t.Fatal("cross-kind series compare should compare strings")
+	}
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[\"Age\"] < True", srcs, "not supported")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df < 2", srcs, "cannot compare")
+}
+
+func TestFlipCmpAllOps(t *testing.T) {
+	srcs := titanicSources(t)
+	for _, tc := range []struct {
+		src  string
+		want int
+	}{
+		{"m = 30 < df[\"Age\"]", 4},  // Age > 30
+		{"m = 30 <= df[\"Age\"]", 4}, // Age >= 30 (35,38,54 and... 35,38,54 plus none at 30)
+		{"m = 30 > df[\"Age\"]", 3},  // Age < 30: 22,26,2,27 minus null = 4? recompute below
+		{"m = 30 >= df[\"Age\"]", 4},
+	} {
+		res := run(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\n"+tc.src+"\n", srcs)
+		m, _ := res.Env.Get("m")
+		n := m.(frame.Mask).Count()
+		if n == 0 || n == len(m.(frame.Mask)) {
+			t.Fatalf("%s: degenerate mask %d", tc.src, n)
+		}
+	}
+}
+
+func TestArithBranches(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+a = df["Fare"] - 1
+b = 2 * df["Fare"]
+c = 100 / df["Pclass"]
+d = 10 - df["Pclass"]
+e = "ab" + "cd"
+f = df["Sex"] + df["Embarked"]
+`, titanicSources(t))
+	c, _ := res.Env.Get("c")
+	if math.Abs(c.(*frame.Series).Float(0)-100.0/3) > 1e-9 {
+		t.Fatalf("scalar/series = %v", c.(*frame.Series).Float(0))
+	}
+	if e, _ := res.Env.Get("e"); e.(string) != "abcd" {
+		t.Fatal("string concat")
+	}
+	f, _ := res.Env.Get("f")
+	if f.(*frame.Series).StringAt(0) != "maleS" {
+		t.Fatal("series string concat")
+	}
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+x = "a" - "b"
+`, titanicSources(t), "cannot apply")
+}
+
+func TestUnaryBranches(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+a = -df["Pclass"]
+b = -5
+`, titanicSources(t))
+	a, _ := res.Env.Get("a")
+	if a.(*frame.Series).Float(0) != -3 {
+		t.Fatal("negate series")
+	}
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = ~df[\"Age\"]", titanicSources(t), "needs a mask")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = -df", titanicSources(t), "needs a number")
+}
+
+func TestAttrSurface(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+cols = df.columns
+shape = df.shape
+vals = df["Age"].values
+`, titanicSources(t))
+	cols, _ := res.Env.Get("cols")
+	if len(cols.(listVal).elems) != 6 {
+		t.Fatal("columns")
+	}
+	shape, _ := res.Env.Get("shape")
+	if shape.(listVal).elems[0].(float64) != 8 {
+		t.Fatal("shape")
+	}
+	if v, _ := res.Env.Get("vals"); v.(*frame.Series).Len() != 8 {
+		t.Fatal("values")
+	}
+	mustFail(t, "x = 5\ny = x.attr", nil, "no attribute")
+}
+
+func TestLocReadAndErrors(t *testing.T) {
+	srcs := titanicSources(t)
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+sub = df.loc[df["Age"] > 30]
+`, srcs)
+	sub, _ := res.Env.Get("sub")
+	if sub.(*DF).F.NumRows() != 3 {
+		t.Fatalf("loc mask read rows = %d", sub.(*DF).F.NumRows())
+	}
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+x = df.loc["Age"]
+`, srcs, "masks")
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df.loc[df["Age"] > 30] = 0
+`, srcs, "")
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df.loc[df["Age"] > 30, 5] = 0
+`, srcs, "column must be a string")
+}
+
+func TestLocStringAssignmentAndConversion(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df.loc[df["Age"] > 30, "Embarked"] = "OLD"
+df.loc[df["Age"] > 30, "Pclass"] = 9
+df.loc[df["Sex"] == "male", "tag"] = "m"
+`, titanicSources(t))
+	emb, _ := res.Main.Column("Embarked")
+	if emb.StringAt(1) != "OLD" {
+		t.Fatal("loc string assign")
+	}
+	pc, _ := res.Main.Column("Pclass")
+	if pc.Float(1) != 9 {
+		t.Fatal("loc numeric assign")
+	}
+	tag, _ := res.Main.Column("tag")
+	if tag.Kind() != frame.String || tag.StringAt(0) != "m" {
+		t.Fatal("loc creates string column")
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	srcs := titanicSources(t)
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[5]", srcs, "cannot index DataFrame")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[[\"Age\", 5]]", srcs, "strings")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[\"Age\"][\"Fare\"]", srcs, "cannot index Series")
+	mustFail(t, "x = 5\ny = x[1]", nil, "cannot index")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df.groupby(\"Sex\")[5]", srcs, "string")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df.groupby(\"Nope\")", srcs, "no column")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df.groupby(\"Sex\")[\"Fare\"].frobnicate()", srcs, "not supported")
+}
+
+func TestSeriesMaskIndexing(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+old = df["Fare"][df["Age"] > 30]
+`, titanicSources(t))
+	old, _ := res.Env.Get("old")
+	if old.(*frame.Series).Len() != 3 {
+		t.Fatalf("masked series len = %d", old.(*frame.Series).Len())
+	}
+}
+
+func TestGroupBySumAndCount(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+s = df.groupby("Sex")["Fare"].sum()
+c = df.groupby("Sex")["Fare"].count()
+`, titanicSources(t))
+	s, _ := res.Env.Get("s")
+	if s.(*DF).F.NumRows() != 2 {
+		t.Fatal("groupby sum")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	srcs := titanicSources(t)
+	mustFail(t, "x = 5\ny = x()", nil, "not callable")
+	mustFail(t, "import pandas as pd\nx = pd.frobnicate()", srcs, "no callable")
+	mustFail(t, "import numpy as np\nx = np.frobnicate()", srcs, "no callable")
+	mustFail(t, "import sklearn\nx = sklearn.fit()", srcs, "no callable")
+	mustFail(t, "import pandas as pd\nx = pd.read_csv(5)", srcs, "string")
+	mustFail(t, "import pandas as pd\nx = pd.get_dummies(5)", srcs, "DataFrame")
+	mustFail(t, "import pandas as pd\nx = pd.to_numeric(5)", srcs, "Series")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = pd.cut(df[\"Age\"], 0)", srcs, "bin")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[\"Age\"].between(1)", srcs, "missing argument")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[\"Age\"].map(5)", srcs, "dict")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[\"Age\"].astype(\"complex\")", srcs, "unsupported type")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\nx = df[\"Age\"].isin(5)", srcs, "list")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\ndf = df.rename(5)", srcs, "columns=")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\ndf = df.sample(\"x\")", srcs, "number")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\ndf = df.sort_values(5)", srcs, "")
+}
+
+func TestSortValuesByKwarg(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df.sort_values(by="Age")
+`, titanicSources(t))
+	age, _ := res.Main.Column("Age")
+	if age.Float(0) != 2 {
+		t.Fatalf("sort by kwarg first = %v", age.Float(0))
+	}
+}
+
+func TestSampleKwargN(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df.sample(n=3)
+`, titanicSources(t))
+	if res.Main.NumRows() != 3 {
+		t.Fatal("sample(n=)")
+	}
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df.sample(frac=1.5)
+`, titanicSources(t), "frac")
+}
+
+func TestResetIndexAndCopy(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df = df[df["Age"] > 30]
+df = df.reset_index()
+idx = df.index
+d2 = df.copy()
+`, titanicSources(t))
+	idx, _ := res.Env.Get("idx")
+	labels := idx.(indexVal).labels
+	if labels[0] != 0 || labels[len(labels)-1] != len(labels)-1 {
+		t.Fatalf("reset_index labels = %v", labels)
+	}
+	d2, _ := res.Env.Get("d2")
+	if d2.(*DF).F.NumRows() != res.Main.NumRows() {
+		t.Fatal("copy")
+	}
+}
+
+func TestDuplicatedMask(t *testing.T) {
+	src := map[string]*frame.Frame{}
+	f, _ := frame.ReadCSVString("a\n1\n1\n2\n")
+	src["d.csv"] = f
+	res := run(t, `import pandas as pd
+df = pd.read_csv("d.csv")
+df = df[~df.duplicated()]
+`, src)
+	if res.Main.NumRows() != 2 {
+		t.Fatalf("duplicated filter rows = %d", res.Main.NumRows())
+	}
+}
+
+func TestScalarStringRendering(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+df["m"] = df["Pclass"].map({1: "first", 2: "second", 3: "third"})
+df["b"] = df["m"].map({"third": True})
+`, titanicSources(t))
+	m, _ := res.Main.Column("m")
+	if m.StringAt(0) != "third" {
+		t.Fatalf("numeric dict keys = %q", m.StringAt(0))
+	}
+}
+
+func TestTypeNameCoverage(t *testing.T) {
+	vals := []Value{
+		&DF{}, frame.NewIntSeries("x", nil), frame.Mask{}, 1.0, "s", true,
+		moduleVal{}, statVal{}, strVal{}, indexVal{}, dictVal{}, listVal{},
+		groupVal{}, groupColVal{}, boundMethod{}, nil,
+	}
+	for _, v := range vals {
+		if typeName(v) == "" {
+			t.Fatalf("empty type name for %T", v)
+		}
+	}
+	if typeName(struct{}{}) == "" {
+		t.Fatal("fallback type name")
+	}
+}
+
+func TestDFCloneIndependent(t *testing.T) {
+	f, _ := frame.ReadCSVString("a\n1\n")
+	d := NewDF(f)
+	c := d.Clone()
+	col, _ := c.F.Column("a")
+	col.SetInt(0, 99)
+	orig, _ := d.F.Column("a")
+	if orig.Float(0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMeanOfSeriesInFillna(t *testing.T) {
+	// series.fillna(series.mean()) where the series is all null errors
+	// gracefully (mode of all-null).
+	src := map[string]*frame.Frame{}
+	f, _ := frame.ReadCSVString("a,b\n,1\n,2\n")
+	src["d.csv"] = f
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("d.csv")
+x = df["a"].mode()
+`, src, "all-null")
+}
+
+func TestAssignErrors(t *testing.T) {
+	srcs := titanicSources(t)
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\ndf[5] = 1", srcs, "string column name")
+	mustFail(t, "x = 1\nx[\"a\"] = 2", nil, "cannot index-assign")
+	mustFail(t, "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\ndf.attr = 1", srcs, "cannot assign")
+}
+
+func TestDescribeMethod(t *testing.T) {
+	res := run(t, `import pandas as pd
+df = pd.read_csv("train.csv")
+summary = df.describe()
+`, titanicSources(t))
+	v, _ := res.Env.Get("summary")
+	d := v.(*DF).F
+	if !d.HasColumn("Fare") || d.NumRows() != 6 {
+		t.Fatalf("describe shape: %v x %d", d.ColumnNames(), d.NumRows())
+	}
+}
+
+func TestDatetimeSupport(t *testing.T) {
+	src := map[string]*frame.Frame{}
+	f, _ := frame.ReadCSVString("date,amount\n02.01.2013,5\n2014-06-15,7\n03/20/2015,9\nnot-a-date,1\n")
+	src["sales.csv"] = f
+	res := run(t, `import pandas as pd
+df = pd.read_csv("sales.csv")
+df["date"] = pd.to_datetime(df["date"])
+df["year"] = df["date"].dt.year
+df["month"] = df["date"].dt.month
+df["day"] = df["date"].dt.day
+df["dow"] = df["date"].dt.dayofweek
+`, src)
+	year, _ := res.Main.Column("year")
+	if year.Float(0) != 2013 || year.Float(1) != 2014 || year.Float(2) != 2015 {
+		t.Fatalf("years = %v %v %v", year.Float(0), year.Float(1), year.Float(2))
+	}
+	month, _ := res.Main.Column("month")
+	if month.Float(0) != 1 || month.Float(1) != 6 || month.Float(2) != 3 {
+		t.Fatalf("months = %v %v %v", month.Float(0), month.Float(1), month.Float(2))
+	}
+	if year.IsValid(3) {
+		t.Fatal("unparseable date should be null")
+	}
+	dow, _ := res.Main.Column("dow")
+	// 2013-01-02 was a Wednesday → pandas dayofweek 2.
+	if dow.Float(0) != 2 {
+		t.Fatalf("dayofweek = %v, want 2", dow.Float(0))
+	}
+}
+
+func TestDatetimeErrors(t *testing.T) {
+	src := map[string]*frame.Frame{}
+	f, _ := frame.ReadCSVString("c\nx\n")
+	src["d.csv"] = f
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("d.csv")
+y = df["c"].dt.year
+`, src, "to_datetime")
+	mustFail(t, `import pandas as pd
+df = pd.read_csv("d.csv")
+df["c"] = pd.to_datetime(df["c"])
+y = df["c"].dt.century
+`, src, "no attribute")
+	mustFail(t, `import pandas as pd
+x = pd.to_datetime(5)
+`, src, "Series")
+}
+
+func TestDatetimeIdempotent(t *testing.T) {
+	src := map[string]*frame.Frame{}
+	f, _ := frame.ReadCSVString("date\n02.01.2013\n")
+	src["d.csv"] = f
+	res := run(t, `import pandas as pd
+df = pd.read_csv("d.csv")
+df["date"] = pd.to_datetime(df["date"])
+df["date"] = pd.to_datetime(df["date"])
+y = df["date"].dt.year
+`, src)
+	y, _ := res.Env.Get("y")
+	if y.(*frame.Series).Float(0) != 2013 {
+		t.Fatal("double to_datetime should pass through")
+	}
+}

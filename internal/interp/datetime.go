@@ -1,0 +1,81 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lucidscript/internal/frame"
+)
+
+// dtVal is the .dt accessor over a datetime series (stored as fractional
+// days since the Unix epoch in a Float series).
+type dtVal struct {
+	s *frame.Series
+}
+
+// dateLayouts are the string formats pd.to_datetime accepts, tried in order.
+var dateLayouts = []string{
+	"2006-01-02",
+	"02.01.2006", // the Kaggle sales format (DD.MM.YYYY)
+	"01/02/2006",
+	"2006-01-02 15:04:05",
+}
+
+// toDatetime converts a series to fractional days since the Unix epoch.
+// String cells are parsed against the known layouts; numeric cells pass
+// through (already-converted columns); unparseable cells become null.
+func toDatetime(s *frame.Series) *frame.Series {
+	out := make([]float64, s.Len())
+	for i := range out {
+		out[i] = math.NaN()
+		if !s.IsValid(i) {
+			continue
+		}
+		if s.IsNumeric() {
+			out[i] = s.Float(i)
+			continue
+		}
+		raw := s.StringAt(i)
+		for _, layout := range dateLayouts {
+			if t, err := time.Parse(layout, raw); err == nil {
+				out[i] = float64(t.Unix()) / 86400.0
+				break
+			}
+		}
+	}
+	return frame.NewFloatSeries(s.Name(), out)
+}
+
+// callDt dispatches .dt.year / .dt.month / .dt.day / .dt.dayofweek.
+func (e *Env) callDt(dv dtVal, name string, c *call) (Value, error) {
+	if !dv.s.IsNumeric() {
+		return nil, fmt.Errorf(".dt accessor needs a datetime column (apply pd.to_datetime first)")
+	}
+	extract := func(f func(time.Time) float64) Value {
+		out := make([]float64, dv.s.Len())
+		for i := range out {
+			v := dv.s.Float(i)
+			if math.IsNaN(v) {
+				out[i] = math.NaN()
+				continue
+			}
+			t := time.Unix(int64(v*86400), 0).UTC()
+			out[i] = f(t)
+		}
+		return frame.NewFloatSeries(dv.s.Name(), out)
+	}
+	switch name {
+	case "year":
+		return extract(func(t time.Time) float64 { return float64(t.Year()) }), nil
+	case "month":
+		return extract(func(t time.Time) float64 { return float64(t.Month()) }), nil
+	case "day":
+		return extract(func(t time.Time) float64 { return float64(t.Day()) }), nil
+	case "dayofweek":
+		// pandas: Monday=0 … Sunday=6.
+		return extract(func(t time.Time) float64 { return float64((int(t.Weekday()) + 6) % 7) }), nil
+	default:
+		return nil, fmt.Errorf(".dt has no attribute %q", name)
+	}
+}

@@ -1,0 +1,728 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lucidscript/internal/frame"
+	"lucidscript/internal/script"
+)
+
+// Env is the mutable execution environment of one script run.
+type Env struct {
+	sources map[string]*frame.Frame
+	vars    map[string]Value
+	// dfOrder records the assignment order of DataFrame-valued variables so
+	// the "output dataset" of a script can be recovered (see Result).
+	dfOrder []string
+	rng     *rand.Rand
+}
+
+// Result is what a completed script run produced: the output dataset
+// (D_OUT in the paper) plus the conventional X/y variables when present.
+type Result struct {
+	// Main is the primary output frame: the value of `df` when bound,
+	// otherwise the most recently assigned DataFrame variable.
+	Main *frame.Frame
+	// X is the value of `X` or `X_train` when the script separates features.
+	X *frame.Frame
+	// Y is the value of `y` or `y_train` when the script separates the target.
+	Y *frame.Series
+	// Env exposes the final variable bindings for inspection.
+	Env *Env
+}
+
+// Options configures a run.
+type Options struct {
+	// Seed drives df.sample for deterministic runs. Defaults to 1.
+	Seed int64
+	// MaxRows, when positive, samples each source frame down to at most
+	// MaxRows rows before execution (the paper's optimization 5).
+	MaxRows int
+}
+
+// Run executes the script against the named data sources
+// (file name → frame, standing in for the files read by pd.read_csv).
+func Run(s *script.Script, sources map[string]*frame.Frame, opts Options) (*Result, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	srcs := sources
+	if opts.MaxRows > 0 {
+		srcs = make(map[string]*frame.Frame, len(sources))
+		for name, f := range sources {
+			if f.NumRows() > opts.MaxRows {
+				srcs[name] = f.Sample(opts.MaxRows, opts.Seed)
+			} else {
+				srcs[name] = f
+			}
+		}
+	}
+	env := &Env{
+		sources: srcs,
+		vars:    map[string]Value{},
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	for i, st := range s.Stmts {
+		if err := env.exec(st); err != nil {
+			return nil, fmt.Errorf("interp: line %d (%s): %w", i+1, st.Source(), err)
+		}
+	}
+	return env.result(), nil
+}
+
+// CheckExecutes reports whether the script runs without error
+// (the paper's execution constraint).
+func CheckExecutes(s *script.Script, sources map[string]*frame.Frame, opts Options) error {
+	_, err := Run(s, sources, opts)
+	return err
+}
+
+// Get returns the final value of a variable.
+func (e *Env) Get(name string) (Value, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+func (e *Env) result() *Result {
+	r := &Result{Env: e}
+	if v, ok := e.vars["df"].(*DF); ok {
+		r.Main = v.F
+	} else {
+		for i := len(e.dfOrder) - 1; i >= 0; i-- {
+			if v, ok := e.vars[e.dfOrder[i]].(*DF); ok {
+				r.Main = v.F
+				break
+			}
+		}
+	}
+	for _, n := range []string{"X", "X_train"} {
+		if v, ok := e.vars[n].(*DF); ok {
+			r.X = v.F
+			break
+		}
+	}
+	for _, n := range []string{"y", "y_train"} {
+		if v, ok := e.vars[n].(*frame.Series); ok {
+			r.Y = v
+			break
+		}
+	}
+	return r
+}
+
+func (e *Env) exec(st script.Stmt) error {
+	switch s := st.(type) {
+	case *script.ImportStmt:
+		alias := s.Alias
+		if alias == "" {
+			alias = s.Module
+		}
+		e.vars[alias] = moduleVal{name: s.Module}
+		return nil
+	case *script.ExprStmt:
+		_, err := e.eval(s.X)
+		return err
+	case *script.AssignStmt:
+		return e.execAssign(s)
+	default:
+		return fmt.Errorf("unsupported statement type %T", st)
+	}
+}
+
+func (e *Env) execAssign(s *script.AssignStmt) error {
+	val, err := e.eval(s.Value)
+	if err != nil {
+		return err
+	}
+	switch tgt := s.Target.(type) {
+	case *script.Ident:
+		e.vars[tgt.Name] = val
+		if _, ok := val.(*DF); ok {
+			e.dfOrder = append(e.dfOrder, tgt.Name)
+		}
+		return nil
+	case *script.IndexExpr:
+		return e.assignIndexed(tgt, val)
+	default:
+		return fmt.Errorf("cannot assign to %s", s.Target.Source())
+	}
+}
+
+// assignIndexed handles df["col"] = v and df.loc[labels, "col"] = v.
+func (e *Env) assignIndexed(tgt *script.IndexExpr, val Value) error {
+	// df.loc[labels, "col"] = v
+	if attr, ok := tgt.X.(*script.AttrExpr); ok && attr.Attr == "loc" {
+		return e.assignLoc(attr, tgt.Index, val)
+	}
+	base, err := e.eval(tgt.X)
+	if err != nil {
+		return err
+	}
+	df, ok := base.(*DF)
+	if !ok {
+		return fmt.Errorf("cannot index-assign into %s", typeName(base))
+	}
+	idx, err := e.eval(tgt.Index)
+	if err != nil {
+		return err
+	}
+	col, ok := idx.(string)
+	if !ok {
+		return fmt.Errorf("column assignment needs a string column name, got %s", typeName(idx))
+	}
+	series, err := e.broadcast(val, col, df.F.NumRows())
+	if err != nil {
+		return err
+	}
+	return df.F.SetColumn(series)
+}
+
+func (e *Env) assignLoc(attr *script.AttrExpr, index script.Expr, val Value) error {
+	base, err := e.eval(attr.X)
+	if err != nil {
+		return err
+	}
+	df, ok := base.(*DF)
+	if !ok {
+		return fmt.Errorf(".loc on %s", typeName(base))
+	}
+	sl, ok := index.(*script.SliceExpr)
+	if !ok || len(sl.Parts) != 2 {
+		return fmt.Errorf(".loc assignment needs [rows, column]")
+	}
+	rowsV, err := e.eval(sl.Parts[0])
+	if err != nil {
+		return err
+	}
+	colV, err := e.eval(sl.Parts[1])
+	if err != nil {
+		return err
+	}
+	col, ok := colV.(string)
+	if !ok {
+		return fmt.Errorf(".loc column must be a string, got %s", typeName(colV))
+	}
+	// Resolve target row positions from labels or a mask.
+	var pos []int
+	switch rv := rowsV.(type) {
+	case indexVal:
+		want := make(map[int]bool, len(rv.labels))
+		for _, l := range rv.labels {
+			want[l] = true
+		}
+		for p, l := range df.Index {
+			if want[l] {
+				pos = append(pos, p)
+			}
+		}
+	case frame.Mask:
+		if len(rv) != df.F.NumRows() {
+			return fmt.Errorf(".loc mask length %d != rows %d", len(rv), df.F.NumRows())
+		}
+		for p, keep := range rv {
+			if keep {
+				pos = append(pos, p)
+			}
+		}
+	default:
+		return fmt.Errorf(".loc rows must be an index or mask, got %s", typeName(rowsV))
+	}
+	target, err := df.F.Column(col)
+	if err != nil {
+		// pandas creates the column, null elsewhere.
+		target = frame.NewEmptySeries(col, frame.Float, df.F.NumRows())
+		if s, ok := val.(string); ok {
+			_ = s
+			target = frame.NewEmptySeries(col, frame.String, df.F.NumRows())
+		}
+		if err := df.F.SetColumn(target); err != nil {
+			return err
+		}
+	}
+	switch v := val.(type) {
+	case float64:
+		if target.Kind() == frame.String {
+			for _, p := range pos {
+				target.SetString(p, trimFloat(v))
+			}
+			return nil
+		}
+		conv := target
+		if target.Kind() != frame.Float {
+			conv = target.AsType(frame.Float)
+			if err := df.F.SetColumn(conv); err != nil {
+				return err
+			}
+		}
+		for _, p := range pos {
+			conv.SetFloat(p, v)
+		}
+		return nil
+	case string:
+		conv := target
+		if target.Kind() != frame.String {
+			conv = target.AsType(frame.String)
+			if err := df.F.SetColumn(conv); err != nil {
+				return err
+			}
+		}
+		for _, p := range pos {
+			conv.SetString(p, v)
+		}
+		return nil
+	default:
+		return fmt.Errorf(".loc assignment of %s not supported", typeName(val))
+	}
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// broadcast turns an assigned value into a column series of length n.
+func (e *Env) broadcast(val Value, name string, n int) (*frame.Series, error) {
+	switch v := val.(type) {
+	case *frame.Series:
+		if v.Len() != n {
+			return nil, fmt.Errorf("column %q length %d != rows %d", name, v.Len(), n)
+		}
+		return v.Rename(name), nil
+	case frame.Mask:
+		bs := make([]bool, len(v))
+		copy(bs, v)
+		return frame.NewBoolSeries(name, bs), nil
+	case float64:
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		return frame.NewFloatSeries(name, vals), nil
+	case string:
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		return frame.NewStringSeries(name, vals), nil
+	case bool:
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = v
+		}
+		return frame.NewBoolSeries(name, vals), nil
+	default:
+		return nil, fmt.Errorf("cannot assign %s to column %q", typeName(val), name)
+	}
+}
+
+func (e *Env) eval(expr script.Expr) (Value, error) {
+	switch x := expr.(type) {
+	case *script.Ident:
+		v, ok := e.vars[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("name %q is not defined", x.Name)
+		}
+		return v, nil
+	case *script.NumberLit:
+		return x.Value, nil
+	case *script.StringLit:
+		return x.Value, nil
+	case *script.BoolLit:
+		return x.Value, nil
+	case *script.NoneLit:
+		return nil, nil
+	case *script.ListExpr:
+		lv := listVal{}
+		for _, el := range x.Elems {
+			v, err := e.eval(el)
+			if err != nil {
+				return nil, err
+			}
+			lv.elems = append(lv.elems, v)
+		}
+		return lv, nil
+	case *script.DictExpr:
+		d := dictVal{m: map[string]string{}}
+		for i := range x.Keys {
+			k, err := e.eval(x.Keys[i])
+			if err != nil {
+				return nil, err
+			}
+			v, err := e.eval(x.Values[i])
+			if err != nil {
+				return nil, err
+			}
+			d.m[scalarString(k)] = scalarString(v)
+		}
+		return d, nil
+	case *script.AttrExpr:
+		return e.evalAttr(x)
+	case *script.CallExpr:
+		return e.evalCall(x)
+	case *script.IndexExpr:
+		return e.evalIndex(x)
+	case *script.BinaryExpr:
+		return e.evalBinary(x)
+	case *script.UnaryExpr:
+		return e.evalUnary(x)
+	case *script.SliceExpr:
+		return nil, fmt.Errorf("comma index only valid inside .loc")
+	default:
+		return nil, fmt.Errorf("unsupported expression %s", expr.Source())
+	}
+}
+
+func scalarString(v Value) string {
+	switch s := v.(type) {
+	case string:
+		return s
+	case float64:
+		return trimFloat(s)
+	case bool:
+		if s {
+			return "True"
+		}
+		return "False"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func (e *Env) evalAttr(x *script.AttrExpr) (Value, error) {
+	recv, err := e.eval(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch r := recv.(type) {
+	case *DF:
+		switch x.Attr {
+		case "index":
+			return indexVal{labels: append([]int(nil), r.Index...)}, nil
+		case "columns":
+			lv := listVal{}
+			for _, n := range r.F.ColumnNames() {
+				lv.elems = append(lv.elems, n)
+			}
+			return lv, nil
+		case "shape":
+			return listVal{elems: []Value{float64(r.F.NumRows()), float64(r.F.NumCols())}}, nil
+		case "loc":
+			// Bare read access like df.loc[mask] is handled at index time.
+			return boundMethod{recv: r, name: "loc"}, nil
+		}
+		return boundMethod{recv: r, name: x.Attr}, nil
+	case *frame.Series:
+		switch x.Attr {
+		case "str":
+			return strVal{s: r}, nil
+		case "dt":
+			return dtVal{s: r}, nil
+		case "values":
+			return r, nil
+		}
+		return boundMethod{recv: r, name: x.Attr}, nil
+	case dtVal:
+		// pandas exposes .dt fields as attributes (df["d"].dt.month).
+		return e.callDt(r, x.Attr, nil)
+	case moduleVal, strVal, groupVal, groupColVal:
+		return boundMethod{recv: recv, name: x.Attr}, nil
+	default:
+		return nil, fmt.Errorf("%s has no attribute %q", typeName(recv), x.Attr)
+	}
+}
+
+func (e *Env) evalIndex(x *script.IndexExpr) (Value, error) {
+	recv, err := e.eval(x.X)
+	if err != nil {
+		return nil, err
+	}
+	// df.loc[mask] read access.
+	if bm, ok := recv.(boundMethod); ok && bm.name == "loc" {
+		df := bm.recv.(*DF)
+		idx, err := e.eval(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		if m, ok := idx.(frame.Mask); ok {
+			return df.filter(m)
+		}
+		return nil, fmt.Errorf(".loc read supports only masks, got %s", typeName(idx))
+	}
+	idxV, err := e.eval(x.Index)
+	if err != nil {
+		return nil, err
+	}
+	switch r := recv.(type) {
+	case *DF:
+		switch idx := idxV.(type) {
+		case string:
+			s, err := r.F.Column(idx)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		case listVal:
+			names := make([]string, len(idx.elems))
+			for i, el := range idx.elems {
+				n, ok := el.(string)
+				if !ok {
+					return nil, fmt.Errorf("column list must contain strings")
+				}
+				names[i] = n
+			}
+			f, err := r.F.Select(names...)
+			if err != nil {
+				return nil, err
+			}
+			return &DF{F: f, Index: append([]int(nil), r.Index...)}, nil
+		case frame.Mask:
+			return r.filter(idx)
+		default:
+			return nil, fmt.Errorf("cannot index DataFrame with %s", typeName(idxV))
+		}
+	case *frame.Series:
+		if m, ok := idxV.(frame.Mask); ok {
+			if len(m) != r.Len() {
+				return nil, fmt.Errorf("mask length %d != series length %d", len(m), r.Len())
+			}
+			pos := make([]int, 0, m.Count())
+			for i, keep := range m {
+				if keep {
+					pos = append(pos, i)
+				}
+			}
+			return r.Gather(pos), nil
+		}
+		return nil, fmt.Errorf("cannot index Series with %s", typeName(idxV))
+	case groupVal:
+		col, ok := idxV.(string)
+		if !ok {
+			return nil, fmt.Errorf("groupby column selector must be a string")
+		}
+		return groupColVal{df: r.df, key: r.key, col: col}, nil
+	default:
+		return nil, fmt.Errorf("cannot index %s", typeName(recv))
+	}
+}
+
+func (e *Env) evalUnary(x *script.UnaryExpr) (Value, error) {
+	v, err := e.eval(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "~":
+		m, ok := v.(frame.Mask)
+		if !ok {
+			return nil, fmt.Errorf("~ needs a mask, got %s", typeName(v))
+		}
+		return m.Not(), nil
+	case "-":
+		switch n := v.(type) {
+		case float64:
+			return -n, nil
+		case *frame.Series:
+			return n.ArithScalar(frame.Mul, -1), nil
+		}
+		return nil, fmt.Errorf("- needs a number or Series, got %s", typeName(v))
+	}
+	return nil, fmt.Errorf("unsupported unary operator %q", x.Op)
+}
+
+var cmpFromString = map[string]frame.CmpOp{
+	"<": frame.Lt, "<=": frame.Le, ">": frame.Gt, ">=": frame.Ge, "==": frame.Eq, "!=": frame.Ne,
+}
+
+var arithFromString = map[string]frame.ArithOp{
+	"+": frame.Add, "-": frame.Sub, "*": frame.Mul, "/": frame.Div,
+}
+
+func (e *Env) evalBinary(x *script.BinaryExpr) (Value, error) {
+	l, err := e.eval(x.X)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(x.Y)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "&", "|":
+		lm, lok := l.(frame.Mask)
+		rm, rok := r.(frame.Mask)
+		if !lok || !rok {
+			return nil, fmt.Errorf("%s needs masks, got %s and %s", x.Op, typeName(l), typeName(r))
+		}
+		if len(lm) != len(rm) {
+			return nil, fmt.Errorf("mask length mismatch %d vs %d", len(lm), len(rm))
+		}
+		if x.Op == "&" {
+			return lm.And(rm), nil
+		}
+		return lm.Or(rm), nil
+	}
+	if op, ok := cmpFromString[x.Op]; ok {
+		return e.compare(op, l, r)
+	}
+	if op, ok := arithFromString[x.Op]; ok {
+		return e.arith(op, l, r)
+	}
+	return nil, fmt.Errorf("unsupported operator %q", x.Op)
+}
+
+func (e *Env) compare(op frame.CmpOp, l, r Value) (Value, error) {
+	switch lv := l.(type) {
+	case *frame.Series:
+		switch rv := r.(type) {
+		case float64, string, bool:
+			return lv.Compare(op, rv)
+		case *frame.Series:
+			if lv.Len() != rv.Len() {
+				return nil, fmt.Errorf("series length mismatch %d vs %d", lv.Len(), rv.Len())
+			}
+			m := make(frame.Mask, lv.Len())
+			for i := 0; i < lv.Len(); i++ {
+				if !lv.IsValid(i) || !rv.IsValid(i) {
+					continue
+				}
+				if lv.IsNumeric() && rv.IsNumeric() {
+					m[i] = cmpFloats(op, lv.Float(i), rv.Float(i))
+				} else {
+					m[i] = cmpStrings(op, lv.StringAt(i), rv.StringAt(i))
+				}
+			}
+			return m, nil
+		}
+	case float64:
+		if rv, ok := r.(*frame.Series); ok {
+			return rv.Compare(flipCmp(op), lv)
+		}
+		if rv, ok := r.(float64); ok {
+			return cmpFloats(op, lv, rv), nil
+		}
+	case string:
+		if rv, ok := r.(string); ok {
+			return cmpStrings(op, lv, rv), nil
+		}
+	}
+	return nil, fmt.Errorf("cannot compare %s and %s", typeName(l), typeName(r))
+}
+
+func flipCmp(op frame.CmpOp) frame.CmpOp {
+	switch op {
+	case frame.Lt:
+		return frame.Gt
+	case frame.Le:
+		return frame.Ge
+	case frame.Gt:
+		return frame.Lt
+	case frame.Ge:
+		return frame.Le
+	}
+	return op
+}
+
+func cmpFloats(op frame.CmpOp, a, b float64) bool {
+	switch op {
+	case frame.Lt:
+		return a < b
+	case frame.Le:
+		return a <= b
+	case frame.Gt:
+		return a > b
+	case frame.Ge:
+		return a >= b
+	case frame.Eq:
+		return a == b
+	case frame.Ne:
+		return a != b
+	}
+	return false
+}
+
+func cmpStrings(op frame.CmpOp, a, b string) bool {
+	switch op {
+	case frame.Lt:
+		return a < b
+	case frame.Le:
+		return a <= b
+	case frame.Gt:
+		return a > b
+	case frame.Ge:
+		return a >= b
+	case frame.Eq:
+		return a == b
+	case frame.Ne:
+		return a != b
+	}
+	return false
+}
+
+func (e *Env) arith(op frame.ArithOp, l, r Value) (Value, error) {
+	switch lv := l.(type) {
+	case *frame.Series:
+		switch rv := r.(type) {
+		case *frame.Series:
+			return lv.Arith(op, rv)
+		case float64:
+			return lv.ArithScalar(op, rv), nil
+		}
+	case float64:
+		switch rv := r.(type) {
+		case float64:
+			switch op {
+			case frame.Add:
+				return lv + rv, nil
+			case frame.Sub:
+				return lv - rv, nil
+			case frame.Mul:
+				return lv * rv, nil
+			case frame.Div:
+				if rv == 0 {
+					return nil, fmt.Errorf("division by zero")
+				}
+				return lv / rv, nil
+			}
+		case *frame.Series:
+			switch op {
+			case frame.Add:
+				return rv.ArithScalar(frame.Add, lv), nil
+			case frame.Mul:
+				return rv.ArithScalar(frame.Mul, lv), nil
+			case frame.Sub:
+				return rv.ArithScalar(frame.Mul, -1).ArithScalar(frame.Add, lv), nil
+			case frame.Div:
+				out := make([]float64, rv.Len())
+				for i := range out {
+					d := rv.Float(i)
+					if d == 0 || math.IsNaN(d) {
+						out[i] = math.NaN()
+						continue
+					}
+					out[i] = lv / d
+				}
+				return frame.NewFloatSeries(rv.Name(), out), nil
+			}
+		}
+	case string:
+		if rv, ok := r.(string); ok && op == frame.Add {
+			return lv + rv, nil
+		}
+	}
+	return nil, fmt.Errorf("cannot apply %v to %s and %s", op, typeName(l), typeName(r))
+}
+
+// sortedKeys is a small helper for deterministic iteration.
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

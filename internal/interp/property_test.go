@@ -1,0 +1,114 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lucidscript/internal/script"
+)
+
+// pipelinePool holds steps that always execute against the Titanic fixture.
+var pipelinePool = []string{
+	`df = df.fillna(df.mean())`,
+	`df = df.fillna(df.median())`,
+	`df = df.dropna()`,
+	`df = df[df["Age"] < 60]`,
+	`df = df[df["Fare"] > 5]`,
+	`df = pd.get_dummies(df)`,
+	`df["FareLog"] = df["Fare"] / 2`,
+	`df = df.drop_duplicates()`,
+	`df = df.sort_values("Fare")`,
+	`df = df.head(6)`,
+}
+
+// Property: any pipeline drawn from the pool executes without error, never
+// increases the row count, and produces a well-formed frame.
+func TestRandomPipelinesExecuteProperty(t *testing.T) {
+	sources := titanicSources(t)
+	initialRows := sources["train.csv"].NumRows()
+	f := func(pick []uint8) bool {
+		src := "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\n"
+		for i, p := range pick {
+			if i >= 8 {
+				break
+			}
+			src += pipelinePool[int(p)%len(pipelinePool)] + "\n"
+		}
+		s, err := script.Parse(src)
+		if err != nil {
+			return false
+		}
+		res, err := Run(s, sources, Options{Seed: 3})
+		if err != nil {
+			return false
+		}
+		if res.Main == nil || res.Main.NumRows() > initialRows {
+			return false
+		}
+		// Every column has the frame's row count.
+		for i := 0; i < res.Main.NumCols(); i++ {
+			if res.Main.ColumnAt(i).Len() != res.Main.NumRows() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: running the same script twice gives byte-identical outputs.
+func TestRunDeterminismProperty(t *testing.T) {
+	sources := titanicSources(t)
+	f := func(pick []uint8) bool {
+		src := "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\ndf = df.sample(5)\n"
+		for i, p := range pick {
+			if i >= 4 {
+				break
+			}
+			src += pipelinePool[int(p)%len(pipelinePool)] + "\n"
+		}
+		s, err := script.Parse(src)
+		if err != nil {
+			return false
+		}
+		a, err := Run(s, sources, Options{Seed: 9})
+		if err != nil {
+			return true // non-executable pipelines are out of scope here
+		}
+		b, err := Run(s, sources, Options{Seed: 9})
+		if err != nil {
+			return false
+		}
+		return a.Main.CSVString() == b.Main.CSVString()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: execution never mutates the source frames.
+func TestSourcesImmutableProperty(t *testing.T) {
+	sources := titanicSources(t)
+	before := sources["train.csv"].CSVString()
+	f := func(pick []uint8) bool {
+		src := "import pandas as pd\ndf = pd.read_csv(\"train.csv\")\n"
+		for i, p := range pick {
+			if i >= 6 {
+				break
+			}
+			src += pipelinePool[int(p)%len(pipelinePool)] + "\n"
+		}
+		s, err := script.Parse(src)
+		if err != nil {
+			return false
+		}
+		// Whether or not the pipeline executes, the sources must be intact.
+		_, _ = Run(s, sources, Options{Seed: 2})
+		return sources["train.csv"].CSVString() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

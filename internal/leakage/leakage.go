@@ -1,0 +1,146 @@
+// Package leakage implements the target-leakage case study of Section 6.6:
+// deterministic injection of leakage snippets into scripts (the paper used
+// GPT-4 to author them) and the detection bookkeeping used to measure how
+// often standardization removes the injected ground truth.
+package leakage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lucidscript/internal/script"
+)
+
+// Kind selects the injected leakage pattern.
+type Kind int
+
+// The leakage patterns.
+const (
+	// TargetCopy adds a verbatim copy of the target column.
+	TargetCopy Kind = iota
+	// NoisyDup adds a copy of the target and overwrites a sampled subset
+	// with zeros (the paper's Figure 8 pattern). The heavy noising keeps
+	// the downstream-accuracy impact of removal small, so the model
+	// performance constraint can admit the fix.
+	NoisyDup
+	// Derived adds a column arithmetically derived from the target.
+	Derived
+)
+
+// String names the leakage kind.
+func (k Kind) String() string {
+	switch k {
+	case TargetCopy:
+		return "target-copy"
+	case NoisyDup:
+		return "noisy-duplicate"
+	case Derived:
+		return "derived"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists all injection patterns.
+func Kinds() []Kind { return []Kind{TargetCopy, NoisyDup, Derived} }
+
+// Injection records one injected leakage instance.
+type Injection struct {
+	Kind Kind
+	// Lines are the canonical sources of the injected statements — the
+	// ground truth the detector must remove.
+	Lines []string
+	// Script is the modified script.
+	Script *script.Script
+}
+
+// Inject inserts the leakage snippet into a copy of the script, before any
+// target-split statements. target is the label column name.
+func Inject(s *script.Script, target string, kind Kind, seed int64) (*Injection, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var lines []string
+	switch kind {
+	case TargetCopy:
+		lines = []string{fmt.Sprintf(`df["%s_copy"] = df["%s"]`, target, target)}
+	case NoisyDup:
+		// Most rows are overwritten so the leaked column's accuracy boost is
+		// small enough that removing it stays within the Δ_M threshold (an
+		// exact copy would be a perfect predictor whose removal no intent
+		// constraint admits; see EXPERIMENTS.md).
+		frac := 0.9 + 0.07*rng.Float64()
+		lines = []string{
+			fmt.Sprintf(`df["%s_dup"] = df["%s"]`, target, target),
+			fmt.Sprintf(`update = df.sample(frac=%.2f).index`, frac),
+			fmt.Sprintf(`df.loc[update, "%s_dup"] = 0`, target),
+		}
+	case Derived:
+		k := 2 + rng.Intn(4)
+		lines = []string{fmt.Sprintf(`df["leak_feature"] = df["%s"] * %d`, target, k)}
+	default:
+		return nil, fmt.Errorf("leakage: unknown kind %v", kind)
+	}
+	var stmts []script.Stmt
+	var keys []string
+	for _, l := range lines {
+		st, err := script.ParseStmt(l)
+		if err != nil {
+			return nil, fmt.Errorf("leakage: snippet %q: %w", l, err)
+		}
+		stmts = append(stmts, st)
+		keys = append(keys, st.Source())
+	}
+	out := s.Clone()
+	pos := insertPos(out)
+	merged := append([]script.Stmt(nil), out.Stmts[:pos]...)
+	merged = append(merged, stmts...)
+	merged = append(merged, out.Stmts[pos:]...)
+	out.Stmts = merged
+	return &Injection{Kind: kind, Lines: keys, Script: out}, nil
+}
+
+// insertPos places the snippet before target-split lines (y = ..., X = ...)
+// so the leaked column reaches the feature set, as real leakage does.
+func insertPos(s *script.Script) int {
+	for i, st := range s.Stmts {
+		as, ok := st.(*script.AssignStmt)
+		if !ok {
+			continue
+		}
+		if id, ok := as.Target.(*script.Ident); ok {
+			switch id.Name {
+			case "y", "X", "X_train", "y_train":
+				return i
+			}
+		}
+	}
+	return len(s.Stmts)
+}
+
+// Removed reports whether the output script no longer contains any of the
+// injected ground-truth lines (detection success for this instance).
+func (inj *Injection) Removed(output *script.Script) bool {
+	present := map[string]bool{}
+	for _, st := range output.Stmts {
+		present[st.Source()] = true
+	}
+	for _, l := range inj.Lines {
+		if present[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// RemovedCount returns how many of the injected lines are gone.
+func (inj *Injection) RemovedCount(output *script.Script) int {
+	present := map[string]bool{}
+	for _, st := range output.Stmts {
+		present[st.Source()] = true
+	}
+	n := 0
+	for _, l := range inj.Lines {
+		if !present[l] {
+			n++
+		}
+	}
+	return n
+}

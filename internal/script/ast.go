@@ -1,0 +1,365 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	// Source renders the node in canonical LSL source form.
+	Source() string
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Script is a parsed straight-line program: an ordered statement list.
+type Script struct {
+	Stmts []Stmt
+}
+
+// Source renders the whole script in canonical form, one statement per line.
+func (s *Script) Source() string {
+	lines := make([]string, len(s.Stmts))
+	for i, st := range s.Stmts {
+		lines[i] = st.Source()
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Clone returns a deep copy of the script (statements are immutable once
+// built, so sharing statement pointers is safe; the slice is copied).
+func (s *Script) Clone() *Script {
+	return &Script{Stmts: append([]Stmt(nil), s.Stmts...)}
+}
+
+// NumStmts returns the number of statements.
+func (s *Script) NumStmts() int { return len(s.Stmts) }
+
+// ImportStmt is `import module` or `import module as alias`.
+type ImportStmt struct {
+	Module string
+	Alias  string
+}
+
+func (*ImportStmt) stmtNode() {}
+
+// Source renders the import statement.
+func (s *ImportStmt) Source() string {
+	if s.Alias != "" && s.Alias != s.Module {
+		return fmt.Sprintf("import %s as %s", s.Module, s.Alias)
+	}
+	return "import " + s.Module
+}
+
+// AssignStmt is `target = value`. Target is an Ident, an IndexExpr
+// (column assignment df["c"] = ...) or an AttrExpr.
+type AssignStmt struct {
+	Target Expr
+	Value  Expr
+}
+
+func (*AssignStmt) stmtNode() {}
+
+// Source renders the assignment.
+func (s *AssignStmt) Source() string {
+	return s.Target.Source() + " = " + s.Value.Source()
+}
+
+// ExprStmt is a bare expression evaluated for effect (or no effect).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*ExprStmt) stmtNode() {}
+
+// Source renders the expression statement.
+func (s *ExprStmt) Source() string { return s.X.Source() }
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+}
+
+func (*Ident) exprNode() {}
+
+// Source renders the identifier.
+func (e *Ident) Source() string { return e.Name }
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	IsInt bool
+}
+
+func (*NumberLit) exprNode() {}
+
+// Source renders the number. Integer-valued literals print without a
+// fractional part so parsing and printing round-trip.
+func (e *NumberLit) Source() string {
+	if e.IsInt {
+		return strconv.FormatInt(int64(e.Value), 10)
+	}
+	return strconv.FormatFloat(e.Value, 'g', -1, 64)
+}
+
+// StringLit is a string literal; canonical form uses double quotes.
+type StringLit struct {
+	Value string
+}
+
+func (*StringLit) exprNode() {}
+
+// Source renders the string with double quotes.
+func (e *StringLit) Source() string { return strconv.Quote(e.Value) }
+
+// BoolLit is True or False.
+type BoolLit struct {
+	Value bool
+}
+
+func (*BoolLit) exprNode() {}
+
+// Source renders the Python-style boolean.
+func (e *BoolLit) Source() string {
+	if e.Value {
+		return "True"
+	}
+	return "False"
+}
+
+// NoneLit is the None literal.
+type NoneLit struct{}
+
+func (*NoneLit) exprNode() {}
+
+// Source renders None.
+func (*NoneLit) Source() string { return "None" }
+
+// AttrExpr is attribute access `x.attr`.
+type AttrExpr struct {
+	X    Expr
+	Attr string
+}
+
+func (*AttrExpr) exprNode() {}
+
+// Source renders the attribute access.
+func (e *AttrExpr) Source() string { return e.X.Source() + "." + e.Attr }
+
+// Kwarg is a keyword argument inside a call.
+type Kwarg struct {
+	Name  string
+	Value Expr
+}
+
+// CallExpr is a function or method call `fn(args, k=v)`.
+type CallExpr struct {
+	Fn     Expr
+	Args   []Expr
+	Kwargs []Kwarg
+}
+
+func (*CallExpr) exprNode() {}
+
+// Source renders the call with positional then keyword arguments.
+func (e *CallExpr) Source() string {
+	parts := make([]string, 0, len(e.Args)+len(e.Kwargs))
+	for _, a := range e.Args {
+		parts = append(parts, a.Source())
+	}
+	for _, k := range e.Kwargs {
+		parts = append(parts, k.Name+"="+k.Value.Source())
+	}
+	return e.Fn.Source() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// IndexExpr is subscripting `x[index]`: column access (string index),
+// boolean-mask filtering, or column-list selection.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+func (*IndexExpr) exprNode() {}
+
+// Source renders the subscript.
+func (e *IndexExpr) Source() string { return e.X.Source() + "[" + e.Index.Source() + "]" }
+
+// SliceExpr is a two-part subscript index `a, b` as used by df.loc[rows, col].
+type SliceExpr struct {
+	Parts []Expr
+}
+
+func (*SliceExpr) exprNode() {}
+
+// Source renders the comma-joined index parts.
+func (e *SliceExpr) Source() string {
+	parts := make([]string, len(e.Parts))
+	for i, p := range e.Parts {
+		parts[i] = p.Source()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ListExpr is a list literal `[a, b, c]`.
+type ListExpr struct {
+	Elems []Expr
+}
+
+func (*ListExpr) exprNode() {}
+
+// Source renders the list literal.
+func (e *ListExpr) Source() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.Source()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// DictExpr is a dict literal `{k: v, ...}` with parallel key/value slices.
+type DictExpr struct {
+	Keys   []Expr
+	Values []Expr
+}
+
+func (*DictExpr) exprNode() {}
+
+// Source renders the dict literal.
+func (e *DictExpr) Source() string {
+	parts := make([]string, len(e.Keys))
+	for i := range e.Keys {
+		parts[i] = e.Keys[i].Source() + ": " + e.Values[i].Source()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// BinaryExpr is a binary operation. Op is one of
+// == != < <= > >= + - * / & | .
+type BinaryExpr struct {
+	Op string
+	X  Expr
+	Y  Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// precedence returns the binding strength of a binary operator, matching
+// the parser's climbing order.
+func precedence(op string) int {
+	switch op {
+	case "|":
+		return 1
+	case "&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	}
+	return 6
+}
+
+// Source renders the binary expression, parenthesizing operands whose
+// operators bind less tightly than this one (so printing and re-parsing
+// round-trips the tree exactly). Mask combinators (& |) always wrap their
+// operands, matching pandas' precedence requirements.
+func (e *BinaryExpr) Source() string {
+	if e.Op == "&" || e.Op == "|" {
+		return "(" + e.X.Source() + ") " + e.Op + " (" + e.Y.Source() + ")"
+	}
+	p := precedence(e.Op)
+	left := e.X.Source()
+	if bx, ok := e.X.(*BinaryExpr); ok && precedence(bx.Op) < p {
+		left = "(" + left + ")"
+	}
+	right := e.Y.Source()
+	// The right operand needs parentheses at equal precedence too, since
+	// the parser is left-associative (a - (b - c) must keep its parens).
+	if by, ok := e.Y.(*BinaryExpr); ok && precedence(by.Op) <= p {
+		right = "(" + right + ")"
+	}
+	return left + " " + e.Op + " " + right
+}
+
+// UnaryExpr is a prefix operation: `-x` or `~x` (mask negation).
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// Source renders the unary expression.
+func (e *UnaryExpr) Source() string {
+	if _, ok := e.X.(*BinaryExpr); ok {
+		return e.Op + "(" + e.X.Source() + ")"
+	}
+	return e.Op + e.X.Source()
+}
+
+// Walk applies fn to expr and all sub-expressions, pre-order.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch v := e.(type) {
+	case *AttrExpr:
+		Walk(v.X, fn)
+	case *CallExpr:
+		Walk(v.Fn, fn)
+		for _, a := range v.Args {
+			Walk(a, fn)
+		}
+		for _, k := range v.Kwargs {
+			Walk(k.Value, fn)
+		}
+	case *IndexExpr:
+		Walk(v.X, fn)
+		Walk(v.Index, fn)
+	case *SliceExpr:
+		for _, p := range v.Parts {
+			Walk(p, fn)
+		}
+	case *ListExpr:
+		for _, el := range v.Elems {
+			Walk(el, fn)
+		}
+	case *DictExpr:
+		for i := range v.Keys {
+			Walk(v.Keys[i], fn)
+			Walk(v.Values[i], fn)
+		}
+	case *BinaryExpr:
+		Walk(v.X, fn)
+		Walk(v.Y, fn)
+	case *UnaryExpr:
+		Walk(v.X, fn)
+	}
+}
+
+// WalkStmt applies fn to every expression in the statement.
+func WalkStmt(s Stmt, fn func(Expr)) {
+	switch v := s.(type) {
+	case *AssignStmt:
+		Walk(v.Target, fn)
+		Walk(v.Value, fn)
+	case *ExprStmt:
+		Walk(v.X, fn)
+	}
+}

@@ -1,0 +1,54 @@
+package script
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the lexer and parser never panic on arbitrary input; they
+// either produce a script or an error.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		s, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		// Whatever parses must re-parse from its canonical print.
+		if _, err := Parse(s.Source()); err != nil {
+			t.Logf("reprint failed for %q -> %q: %v", src, s.Source(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tokenizing then joining loses no statements for well-formed
+// single-line inputs assembled from known fragments.
+func TestTokenizeStability(t *testing.T) {
+	fragments := []string{
+		"df", "=", "pd", ".", "read_csv", "(", `"x.csv"`, ")", "[", "]",
+		"5", "2.5", "+", "-", "<", "<=", "==", "&", "|", "~", "{", "}", ":", ",",
+	}
+	f := func(pick []uint8) bool {
+		src := ""
+		for _, p := range pick {
+			src += fragments[int(p)%len(fragments)] + " "
+		}
+		toks, err := Tokenize(src)
+		if err != nil {
+			return true
+		}
+		return len(toks) >= 1 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

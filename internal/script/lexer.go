@@ -1,0 +1,184 @@
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns LSL source text into a token stream.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer builds a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize lexes the whole input, returning the token list terminated by EOF.
+// Consecutive newlines are collapsed; comment text (after '#') is skipped.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokNewline && (len(toks) == 0 || toks[len(toks)-1].Kind == TokNewline) {
+			continue // collapse blank lines / leading newlines
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("script: line %d col %d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func (lx *Lexer) next() (Token, error) {
+	// Skip horizontal whitespace and comments.
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if r == ' ' || r == '\t' || r == '\r' {
+			lx.advance()
+			continue
+		}
+		if r == '#' {
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if r == '\\' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\n' {
+			lx.advance()
+			lx.advance() // line continuation
+			continue
+		}
+		break
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	r := lx.peek()
+	switch {
+	case r == '\n':
+		lx.advance()
+		return Token{Kind: TokNewline, Text: "\n", Line: line, Col: col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				b.WriteRune(lx.advance())
+			} else {
+				break
+			}
+		}
+		text := b.String()
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case unicode.IsDigit(r) || (r == '.' && lx.pos+1 < len(lx.src) && unicode.IsDigit(lx.src[lx.pos+1])):
+		var b strings.Builder
+		seenDot, seenExp := false, false
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if unicode.IsDigit(c) {
+				b.WriteRune(lx.advance())
+				continue
+			}
+			if c == '.' && !seenDot && !seenExp {
+				seenDot = true
+				b.WriteRune(lx.advance())
+				continue
+			}
+			if (c == 'e' || c == 'E') && !seenExp {
+				seenExp = true
+				b.WriteRune(lx.advance())
+				if lx.peek() == '+' || lx.peek() == '-' {
+					b.WriteRune(lx.advance())
+				}
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: b.String(), Line: line, Col: col}, nil
+	case r == '"' || r == '\'':
+		quote := lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) || lx.peek() == '\n' {
+				return Token{}, lx.errf("unterminated string literal")
+			}
+			c := lx.advance()
+			if c == quote {
+				break
+			}
+			if c == '\\' && lx.pos < len(lx.src) {
+				e := lx.advance()
+				switch e {
+				case 'n':
+					b.WriteRune('\n')
+				case 't':
+					b.WriteRune('\t')
+				case '\\', '\'', '"':
+					b.WriteRune(e)
+				default:
+					b.WriteRune('\\')
+					b.WriteRune(e)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+		return Token{Kind: TokString, Text: b.String(), Line: line, Col: col}, nil
+	default:
+		// Operators / punctuation, longest match first.
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = string(lx.src[lx.pos : lx.pos+2])
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "//", "**":
+			lx.advance()
+			lx.advance()
+			return Token{Kind: TokOp, Text: two, Line: line, Col: col}, nil
+		}
+		switch r {
+		case '=', '<', '>', '+', '-', '*', '/', '&', '|', '~', '(', ')', '[', ']', '{', '}', ',', ':', '.', '%':
+			lx.advance()
+			return Token{Kind: TokOp, Text: string(r), Line: line, Col: col}, nil
+		}
+		return Token{}, lx.errf("unexpected character %q", string(r))
+	}
+}

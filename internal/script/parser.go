@@ -1,0 +1,431 @@
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser builds a Script AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse tokenizes and parses LSL source into a Script.
+func Parse(src string) (*Script, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseScript()
+}
+
+// MustParse parses src and panics on error. For tests and fixtures.
+func MustParse(src string) *Script {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseStmt parses a single statement from src (which must contain one line).
+func ParseStmt(src string) (Stmt, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Stmts) != 1 {
+		return nil, fmt.Errorf("script: expected exactly one statement, got %d", len(s.Stmts))
+	}
+	return s.Stmts[0], nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *Parser) errf(t Token, format string, args ...interface{}) error {
+	return fmt.Errorf("script: line %d: %s", t.Line, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expectOp(op string) error {
+	t := p.peek()
+	if t.Kind != TokOp || t.Text != op {
+		return p.errf(t, "expected %q, found %s", op, t)
+	}
+	p.next()
+	return nil
+}
+
+func (p *Parser) isOp(op string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == op
+}
+
+func (p *Parser) parseScript() (*Script, error) {
+	s := &Script{}
+	for !p.atEOF() {
+		if p.peek().Kind == TokNewline {
+			p.next()
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Stmts = append(s.Stmts, st)
+		t := p.peek()
+		switch t.Kind {
+		case TokNewline:
+			p.next()
+		case TokEOF:
+		default:
+			return nil, p.errf(t, "unexpected %s after statement", t)
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == "import" {
+		return p.parseImport()
+	}
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.isOp("=") {
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs.(type) {
+		case *Ident, *IndexExpr, *AttrExpr:
+		default:
+			return nil, p.errf(t, "cannot assign to %s", lhs.Source())
+		}
+		return &AssignStmt{Target: lhs, Value: rhs}, nil
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+func (p *Parser) parseImport() (Stmt, error) {
+	p.next() // import
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return nil, p.errf(t, "expected module name, found %s", t)
+	}
+	mod := p.next().Text
+	// Dotted modules like sklearn.preprocessing.
+	for p.isOp(".") {
+		p.next()
+		t = p.peek()
+		if t.Kind != TokIdent {
+			return nil, p.errf(t, "expected module path segment, found %s", t)
+		}
+		mod += "." + p.next().Text
+	}
+	alias := ""
+	if p.peek().Kind == TokKeyword && p.peek().Text == "as" {
+		p.next()
+		t = p.peek()
+		if t.Kind != TokIdent {
+			return nil, p.errf(t, "expected import alias, found %s", t)
+		}
+		alias = p.next().Text
+	}
+	return &ImportStmt{Module: mod, Alias: alias}, nil
+}
+
+// Precedence climbing:
+//
+//	or:   |
+//	and:  &
+//	cmp:  == != < <= > >=
+//	add:  + -
+//	mul:  * / %
+//	unary: - ~
+//	postfix: call, attribute, subscript
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("|") {
+		p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "|", X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("&") {
+		p.next()
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: "&", X: x, Y: y}
+	}
+	return x, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp && cmpOps[t.Text] {
+		op := p.next().Text
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") {
+		op := p.next().Text
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("%") {
+		op := p.next().Text
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.isOp("-") || p.isOp("~") {
+		op := p.next().Text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative number literals.
+		if op == "-" {
+			if n, ok := x.(*NumberLit); ok {
+				return &NumberLit{Value: -n.Value, IsInt: n.IsInt}, nil
+			}
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isOp("."):
+			p.next()
+			t := p.peek()
+			if t.Kind != TokIdent {
+				return nil, p.errf(t, "expected attribute name, found %s", t)
+			}
+			x = &AttrExpr{X: x, Attr: p.next().Text}
+		case p.isOp("("):
+			p.next()
+			call := &CallExpr{Fn: x}
+			for !p.isOp(")") {
+				// Keyword argument?
+				if p.peek().Kind == TokIdent && p.pos+1 < len(p.toks) &&
+					p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "=" {
+					name := p.next().Text
+					p.next() // =
+					v, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Kwargs = append(call.Kwargs, Kwarg{Name: name, Value: v})
+				} else {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+				}
+				if p.isOp(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			x = call
+		case p.isOp("["):
+			p.next()
+			idx, err := p.parseIndex()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parseIndex parses the inside of a subscript; commas produce a SliceExpr
+// (e.g. df.loc[mask, "col"]).
+func (p *Parser) parseIndex() (Expr, error) {
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isOp(",") {
+		return first, nil
+	}
+	parts := []Expr{first}
+	for p.isOp(",") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	return &SliceExpr{Parts: parts}, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		return &Ident{Name: t.Text}, nil
+	case TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad number %q: %v", t.Text, err)
+		}
+		isInt := !strings.ContainsAny(t.Text, ".eE")
+		return &NumberLit{Value: v, IsInt: isInt}, nil
+	case TokString:
+		p.next()
+		return &StringLit{Value: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "True":
+			p.next()
+			return &BoolLit{Value: true}, nil
+		case "False":
+			p.next()
+			return &BoolLit{Value: false}, nil
+		case "None":
+			p.next()
+			return &NoneLit{}, nil
+		}
+		return nil, p.errf(t, "unexpected keyword %q in expression", t.Text)
+	case TokOp:
+		switch t.Text {
+		case "(":
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			p.next()
+			lst := &ListExpr{}
+			for !p.isOp("]") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lst.Elems = append(lst.Elems, e)
+				if p.isOp(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			return lst, nil
+		case "{":
+			p.next()
+			d := &DictExpr{}
+			for !p.isOp("}") {
+				k, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(":"); err != nil {
+					return nil, err
+				}
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Keys = append(d.Keys, k)
+				d.Values = append(d.Values, v)
+				if p.isOp(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectOp("}"); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+	}
+	return nil, p.errf(t, "unexpected %s in expression", t)
+}

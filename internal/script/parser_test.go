@@ -1,0 +1,289 @@
+package script
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperScript(t *testing.T) {
+	src := `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.mean())
+df = df[df["Age"].between(18, 25)]
+df = df[df["SkinThickness"] < 80]
+df = pd.get_dummies(df)
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stmts) != 6 {
+		t.Fatalf("statements = %d, want 6", len(s.Stmts))
+	}
+	if _, ok := s.Stmts[0].(*ImportStmt); !ok {
+		t.Fatalf("stmt 0 is %T, want ImportStmt", s.Stmts[0])
+	}
+	as, ok := s.Stmts[1].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", s.Stmts[1])
+	}
+	call, ok := as.Value.(*CallExpr)
+	if !ok {
+		t.Fatalf("rhs is %T", as.Value)
+	}
+	if call.Fn.Source() != "pd.read_csv" {
+		t.Fatalf("fn = %q", call.Fn.Source())
+	}
+}
+
+func TestRoundTripCanonical(t *testing.T) {
+	cases := []string{
+		"import pandas as pd",
+		"import numpy as np",
+		"import sklearn.preprocessing",
+		`df = pd.read_csv("train.csv")`,
+		"df = df.fillna(df.median())",
+		`df = df[df["Age"].between(18, 25)]`,
+		`df = df[df["SkinThickness"] < 80]`,
+		"df = pd.get_dummies(df)",
+		`y = df["Survived"]`,
+		`X = df.drop("Survived", axis=1)`,
+		`df["Age"] = df["Age"].fillna(df["Age"].mean())`,
+		`df["Embarked"] = df["Embarked"].fillna("S")`,
+		`df = df.drop(["Cabin", "Ticket"], axis=1)`,
+		`df["FamilySize"] = df["SibSp"] + df["Parch"] + 1`,
+		`df["Fare"] = df["Fare"] / df["FamilySize"]`,
+		`df = df[(df["Fare"] > 0) & (df["Age"] < 80)]`,
+		`df = df[(df["Pclass"] == 1) | (df["Pclass"] == 2)]`,
+		`df = df[~(df["Fare"] > 500)]`,
+		`df["Sex"] = df["Sex"].map({"male": 0, "female": 1})`,
+		`df["Name"] = df["Name"].str.lower()`,
+		`update = df.sample(20).index`,
+		`df.loc[update, "Outcome_dup"] = 0`,
+		"df = df.dropna()",
+		`df["Fare"] = np.log1p(df["Fare"])`,
+		"x = -5",
+		"x = 2.5",
+		"x = True",
+		"x = None",
+		`df = df.sort_values("Fare", ascending=False)`,
+		`df["Outcome"]`,
+	}
+	for _, src := range cases {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		got := strings.TrimSuffix(s.Source(), "\n")
+		if got != src {
+			t.Errorf("round trip:\n  in:  %q\n  out: %q", src, got)
+		}
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	// Single quotes, extra spaces and comments normalize away.
+	s, err := Parse("df  =  pd.read_csv( 'x.csv' )  # load\n\n\ndf=df.dropna()\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "df = pd.read_csv(\"x.csv\")\ndf = df.dropna()\n"
+	if s.Source() != want {
+		t.Fatalf("normalized = %q, want %q", s.Source(), want)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	s := MustParse("x = a + b * c")
+	as := s.Stmts[0].(*AssignStmt)
+	add, ok := as.Value.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op = %v", as.Value.Source())
+	}
+	if mul, ok := add.Y.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("rhs = %v", add.Y.Source())
+	}
+	// & binds tighter than |, comparisons tighter than &.
+	s2 := MustParse("m = a < 1 & b > 2 | c == 3")
+	or := s2.Stmts[0].(*AssignStmt).Value.(*BinaryExpr)
+	if or.Op != "|" {
+		t.Fatalf("top = %q", or.Op)
+	}
+	and := or.X.(*BinaryExpr)
+	if and.Op != "&" {
+		t.Fatalf("left = %q", and.Op)
+	}
+}
+
+func TestPrinterPreservesPrecedence(t *testing.T) {
+	cases := []string{
+		`x = (a - b) / (c - d)`,
+		`x = a - b / c - d`,
+		`x = (a + b) * c`,
+		`x = a - (b - c)`,
+		`x = a / (b * c)`,
+		`x = 2 * (a + 1)`,
+	}
+	for _, src := range cases {
+		s1 := MustParse(src)
+		s2 := MustParse(s1.Source())
+		if s1.Source() != s2.Source() {
+			t.Errorf("print/parse not a fixpoint for %q: %q then %q", src, s1.Source(), s2.Source())
+		}
+	}
+	// The two precedence-distinct forms must not print identically.
+	a := MustParse(`x = (a - b) / (c - d)`).Source()
+	b := MustParse(`x = a - b / c - d`).Source()
+	if a == b {
+		t.Fatalf("parenthesized and flat forms collapsed to %q", a)
+	}
+}
+
+func TestNegativeNumberFolding(t *testing.T) {
+	s := MustParse("x = -3")
+	n, ok := s.Stmts[0].(*AssignStmt).Value.(*NumberLit)
+	if !ok || n.Value != -3 || !n.IsInt {
+		t.Fatalf("folded literal = %#v", s.Stmts[0].(*AssignStmt).Value)
+	}
+}
+
+func TestSliceIndex(t *testing.T) {
+	s := MustParse(`df.loc[update, "col"] = 0`)
+	as := s.Stmts[0].(*AssignStmt)
+	idx, ok := as.Target.(*IndexExpr)
+	if !ok {
+		t.Fatalf("target = %T", as.Target)
+	}
+	sl, ok := idx.Index.(*SliceExpr)
+	if !ok || len(sl.Parts) != 2 {
+		t.Fatalf("index = %T", idx.Index)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"df = ",
+		"df = df[",
+		"= 5",
+		"df = 'unterminated",
+		"import",
+		"import 5",
+		"df = df..x",
+		"1 + 2 = 3",
+		"df = ?",
+		"x = {1: }",
+		"x = (1",
+		"df = df.fillna(df.mean()",
+		"x = y z",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseStmtSingle(t *testing.T) {
+	st, err := ParseStmt("df = df.dropna()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*AssignStmt); !ok {
+		t.Fatalf("stmt = %T", st)
+	}
+	if _, err := ParseStmt("a = 1\nb = 2"); err == nil {
+		t.Fatal("two statements should error")
+	}
+	if _, err := ParseStmt("a = ("); err == nil {
+		t.Fatal("syntax error should propagate")
+	}
+}
+
+func TestKeywordArgs(t *testing.T) {
+	s := MustParse(`df = df.drop("Survived", axis=1, inplace=False)`)
+	call := s.Stmts[0].(*AssignStmt).Value.(*CallExpr)
+	if len(call.Args) != 1 || len(call.Kwargs) != 2 {
+		t.Fatalf("args=%d kwargs=%d", len(call.Args), len(call.Kwargs))
+	}
+	if call.Kwargs[0].Name != "axis" {
+		t.Fatalf("kwarg = %q", call.Kwargs[0].Name)
+	}
+	if b, ok := call.Kwargs[1].Value.(*BoolLit); !ok || b.Value {
+		t.Fatal("inplace=False")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := MustParse(`x = "a\"b\n"`)
+	lit := s.Stmts[0].(*AssignStmt).Value.(*StringLit)
+	if lit.Value != "a\"b\n" {
+		t.Fatalf("escaped = %q", lit.Value)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	s := MustParse("# header comment\n\na = 1\n# trailing\n\nb = 2\n")
+	if len(s.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(s.Stmts))
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	s := MustParse(`df = df[df["Age"].between(18, 25)]`)
+	var names []string
+	WalkStmt(s.Stmts[0], func(e Expr) {
+		if id, ok := e.(*Ident); ok {
+			names = append(names, id.Name)
+		}
+	})
+	// target df + value df + inner df = 3 idents
+	if len(names) != 3 {
+		t.Fatalf("idents = %v", names)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := MustParse("a = 1\nb = 2")
+	c := s.Clone()
+	c.Stmts = c.Stmts[:1]
+	if len(s.Stmts) != 2 {
+		t.Fatal("Clone shares the statement slice")
+	}
+}
+
+func TestScriptNumStmts(t *testing.T) {
+	if MustParse("a = 1").NumStmts() != 1 {
+		t.Fatal("NumStmts")
+	}
+}
+
+// Property: parse(print(parse(src))) == parse(src) for generated statements.
+func TestParsePrintFixpointProperty(t *testing.T) {
+	stmts := []string{
+		`df = df.fillna(df.mean())`,
+		`df = df[df["A"] < 10]`,
+		`df["B"] = df["B"] * 2`,
+		`df = pd.get_dummies(df)`,
+		`y = df["target"]`,
+	}
+	f := func(pick []uint8) bool {
+		var lines []string
+		for _, p := range pick {
+			lines = append(lines, stmts[int(p)%len(stmts)])
+		}
+		src := strings.Join(lines, "\n")
+		s1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		s2, err := Parse(s1.Source())
+		if err != nil {
+			return false
+		}
+		return s1.Source() == s2.Source()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

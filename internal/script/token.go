@@ -1,0 +1,76 @@
+// Package script implements LSL, the straight-line pandas-style script
+// language that LucidScript standardizes. It provides a lexer, a
+// recursive-descent parser producing an AST, and a canonical source
+// printer. The surface syntax mirrors the Python/pandas scripts in the
+// paper's figures, e.g.
+//
+//	import pandas as pd
+//	df = pd.read_csv("diabetes.csv")
+//	df = df.fillna(df.median())
+//	df = df[df["Age"].between(18, 25)]
+//	df = pd.get_dummies(df)
+package script
+
+import "fmt"
+
+// TokenKind identifies a lexical token class.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokIdent
+	TokNumber
+	TokString
+	TokOp      // operators and punctuation: = == != < <= > >= + - * / & | ~ ( ) [ ] { } , : .
+	TokKeyword // import, as, True, False, None
+)
+
+// String names the token kind.
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "NEWLINE"
+	case TokIdent:
+		return "IDENT"
+	case TokNumber:
+		return "NUMBER"
+	case TokString:
+		return "STRING"
+	case TokOp:
+		return "OP"
+	case TokKeyword:
+		return "KEYWORD"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int // 1-based source line
+	Col  int // 1-based source column
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	if t.Kind == TokNewline {
+		return "end of line"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"import": true,
+	"as":     true,
+	"True":   true,
+	"False":  true,
+	"None":   true,
+}

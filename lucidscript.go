@@ -1,0 +1,359 @@
+// Package lucidscript is a Go implementation of LucidScript, the bottom-up
+// data-preparation script standardization system from "Toward Standardized
+// Data Preparation: A Bottom-Up Approach" (EDBT 2025).
+//
+// Given a user's straight-line pandas-style script, a corpus of scripts
+// that process the same dataset, and the dataset itself, Standardize
+// searches for an executable variant of the user script that minimizes the
+// relative entropy of its data-preparation-step distribution against the
+// corpus while preserving the user's intent within a configurable
+// threshold (table Jaccard similarity or downstream model accuracy).
+//
+// Quick start:
+//
+//	data, _ := lucidscript.ReadCSVFile("diabetes.csv")
+//	corpus := []*lucidscript.Script{ ... }
+//	sys, _ := lucidscript.NewSystem(corpus,
+//		map[string]*lucidscript.Frame{"diabetes.csv": data},
+//		lucidscript.Options{})
+//	res, _ := sys.Standardize(userScript)
+//	fmt.Print(res.Script.Source())
+package lucidscript
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lucidscript/internal/core"
+	"lucidscript/internal/entropy"
+	"lucidscript/internal/frame"
+	"lucidscript/internal/intent"
+	"lucidscript/internal/script"
+)
+
+// Script is a parsed LSL (pandas-style) data preparation script.
+type Script = script.Script
+
+// Frame is a loaded tabular dataset.
+type Frame = frame.Frame
+
+// ParseScript parses LSL source into a Script.
+func ParseScript(src string) (*Script, error) { return script.Parse(src) }
+
+// ReadCSV parses a CSV stream with type inference into a Frame.
+func ReadCSV(r io.Reader) (*Frame, error) { return frame.ReadCSV(r) }
+
+// ReadCSVFile loads a CSV file into a Frame.
+func ReadCSVFile(path string) (*Frame, error) { return frame.ReadCSVFile(path) }
+
+// IntentMeasure selects how user intent preservation is evaluated.
+type IntentMeasure string
+
+// The supported user-intent measures.
+const (
+	// IntentJaccard constrains the table Jaccard similarity (over distinct
+	// cell values, the paper's Example 2.1) between the outputs of the
+	// input and standardized scripts to be at least Tau.
+	IntentJaccard IntentMeasure = "jaccard"
+	// IntentModel constrains the relative downstream-model accuracy change
+	// to at most Tau percent; requires TargetColumn.
+	IntentModel IntentMeasure = "model"
+	// IntentRowJaccard constrains the stricter row-multiset Jaccard ≥ Tau.
+	IntentRowJaccard IntentMeasure = "row-jaccard"
+	// IntentEMD constrains the normalized earth-mover distance between the
+	// outputs' numeric column distributions to at most Tau (Section 8's
+	// proposed additional measure).
+	IntentEMD IntentMeasure = "emd"
+	// IntentFairness constrains the change in the downstream model's
+	// demographic-parity gap to at most Tau; requires TargetColumn and
+	// ProtectedColumn (Section 8's fairness direction).
+	IntentFairness IntentMeasure = "fairness"
+)
+
+// Options configures a System. The zero value selects the paper's default
+// configuration (seq=16, K=3, diversity and early checking on, τ_J=0.9).
+type Options struct {
+	// SeqLength is the maximum number of transformations (default 16).
+	SeqLength int
+	// BeamSize is the beam width K (default 3).
+	BeamSize int
+	// DisableDiversity turns off K-means transformation diversity.
+	DisableDiversity bool
+	// LateCheck defers execution checking to the end of the search.
+	LateCheck bool
+	// Measure selects the intent measure (default IntentJaccard).
+	Measure IntentMeasure
+	// Tau is the intent threshold: minimum Jaccard in [0,1] (default 0.9)
+	// or maximum model-accuracy change in percent (default 1).
+	Tau float64
+	// TargetColumn names the label column for IntentModel and IntentFairness.
+	TargetColumn string
+	// ProtectedColumn names the protected attribute for IntentFairness.
+	ProtectedColumn string
+	// Auto derives SeqLength and BeamSize from corpus statistics using the
+	// paper's Table 2 instead of the defaults.
+	Auto bool
+	// Seed drives sampling determinism (default 1).
+	Seed int64
+	// MaxRows caps the rows used during execution checks (default 50000).
+	MaxRows int
+	// Weights optionally weights each corpus script (parallel to the corpus
+	// slice) in the standardness distribution, e.g. by Kaggle vote counts.
+	Weights []int
+	// Workers > 1 extends search beams concurrently. Deterministic for a
+	// fixed configuration; may differ slightly from the sequential search
+	// (per-beam candidate de-duplication).
+	Workers int
+}
+
+// ErrEmptyCorpus is returned when no corpus scripts are supplied.
+var ErrEmptyCorpus = errors.New("lucidscript: corpus is empty")
+
+// Result reports one standardization.
+type Result struct {
+	// Script is the standardized output (the input when no admissible
+	// improvement exists).
+	Script *Script
+	// REBefore and REAfter are the relative-entropy scores.
+	REBefore, REAfter float64
+	// ImprovementPct is (REBefore−REAfter)/REBefore × 100.
+	ImprovementPct float64
+	// IntentValue is the measured Δ_J or Δ_M of the accepted output.
+	IntentValue float64
+	// Transformations describes the applied edits, in order.
+	Transformations []string
+	// Explanations justifies each edit: corpus frequency, RE impact, and a
+	// one-sentence rationale (parallel to Transformations).
+	Explanations []string
+}
+
+// System is a standardizer bound to one corpus and dataset; it is safe to
+// reuse for many input scripts (the search space is curated once).
+type System struct {
+	std *core.Standardizer
+}
+
+// NewSystem curates the search space from the corpus and dataset.
+func NewSystem(corpus []*Script, sources map[string]*Frame, opts Options) (*System, error) {
+	if len(corpus) == 0 {
+		return nil, ErrEmptyCorpus
+	}
+	cfg := core.DefaultConfig()
+	if opts.SeqLength > 0 {
+		cfg.SeqLength = opts.SeqLength
+	}
+	if opts.BeamSize > 0 {
+		cfg.BeamSize = opts.BeamSize
+	}
+	cfg.Diversity = !opts.DisableDiversity
+	cfg.EarlyCheck = !opts.LateCheck
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.MaxRows > 0 {
+		cfg.MaxRows = opts.MaxRows
+	}
+	if opts.Workers > 0 {
+		cfg.Workers = opts.Workers
+	}
+	switch opts.Measure {
+	case "", IntentJaccard:
+		tau := opts.Tau
+		if tau == 0 {
+			tau = 0.9
+		}
+		cfg.Constraint = intent.Constraint{Measure: intent.MeasureJaccard, Tau: tau}
+	case IntentRowJaccard:
+		tau := opts.Tau
+		if tau == 0 {
+			tau = 0.9
+		}
+		cfg.Constraint = intent.Constraint{Measure: intent.MeasureRowJaccard, Tau: tau}
+	case IntentEMD:
+		tau := opts.Tau
+		if tau == 0 {
+			tau = 0.05
+		}
+		cfg.Constraint = intent.Constraint{Measure: intent.MeasureEMD, Tau: tau}
+	case IntentModel:
+		if opts.TargetColumn == "" {
+			return nil, fmt.Errorf("lucidscript: IntentModel requires TargetColumn")
+		}
+		tau := opts.Tau
+		if tau == 0 {
+			tau = 1
+		}
+		cfg.Constraint = intent.Constraint{
+			Measure: intent.MeasureModel,
+			Tau:     tau,
+			Model:   intent.ModelConfig{Target: opts.TargetColumn},
+		}
+	case IntentFairness:
+		if opts.TargetColumn == "" || opts.ProtectedColumn == "" {
+			return nil, fmt.Errorf("lucidscript: IntentFairness requires TargetColumn and ProtectedColumn")
+		}
+		tau := opts.Tau
+		if tau == 0 {
+			tau = 0.05
+		}
+		cfg.Constraint = intent.Constraint{
+			Measure: intent.MeasureFairness,
+			Tau:     tau,
+			Model:   intent.ModelConfig{Target: opts.TargetColumn, Protected: opts.ProtectedColumn},
+		}
+	default:
+		return nil, fmt.Errorf("lucidscript: unknown intent measure %q", opts.Measure)
+	}
+	std := core.NewWeighted(corpus, opts.Weights, sources, cfg)
+	if opts.Auto {
+		seq, k := core.AutoConfig(len(corpus), std.Vocab.NumUniqueEdges())
+		std.Config.SeqLength, std.Config.BeamSize = seq, k
+	}
+	return &System{std: std}, nil
+}
+
+// Standardize returns the standardized version of the input script.
+func (s *System) Standardize(input *Script) (*Result, error) {
+	res, err := s.std.Standardize(input)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Script:         res.Output,
+		REBefore:       res.REBefore,
+		REAfter:        res.REAfter,
+		ImprovementPct: res.ImprovementPct,
+		IntentValue:    res.IntentValue,
+	}
+	for _, tr := range res.Applied {
+		out.Transformations = append(out.Transformations, tr.String())
+	}
+	for _, ex := range s.std.ExplainResult(res) {
+		out.Explanations = append(out.Explanations, ex.String())
+	}
+	return out, nil
+}
+
+// ParetoPoint is one point of the intent-threshold / standardness
+// trade-off curve.
+type ParetoPoint struct {
+	// Tau is the intent threshold explored.
+	Tau float64
+	// ImprovementPct is the standardness improvement achievable at Tau.
+	ImprovementPct float64
+	// IntentValue is the measured intent value of the accepted output.
+	IntentValue float64
+}
+
+// ParetoFrontier explores several intent thresholds with a single beam
+// search, returning the achievable improvement at each (Section 8's
+// proposed configuration-exploration extension). Thresholds follow the
+// system's configured measure.
+func (s *System) ParetoFrontier(input *Script, taus []float64) ([]ParetoPoint, error) {
+	pts, err := s.std.ParetoFrontier(input, taus)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ParetoPoint, len(pts))
+	for i, p := range pts {
+		out[i] = ParetoPoint{Tau: p.Tau, ImprovementPct: p.ImprovementPct, IntentValue: p.IntentValue}
+	}
+	return out, nil
+}
+
+// CorpusStats summarizes the curated search space.
+type CorpusStats struct {
+	Scripts        int
+	UniqueUnigrams int
+	UniqueNgrams   int
+	UniqueEdges    int
+}
+
+// Stats returns the corpus statistics used by Table 3 and AutoConfig.
+func (s *System) Stats() CorpusStats {
+	v := s.std.Vocab
+	return CorpusStats{
+		Scripts:        v.NumScripts,
+		UniqueUnigrams: v.NumUniqueUnigrams(),
+		UniqueNgrams:   v.NumUniqueLines(),
+		UniqueEdges:    v.NumUniqueEdges(),
+	}
+}
+
+// SaveSearchSpace serializes the curated search space (the offline phase's
+// output: atom/edge vocabularies, corpus distribution, atom positions) so a
+// later session can LoadSystem without re-curating the corpus.
+func (s *System) SaveSearchSpace(w io.Writer) error {
+	return s.std.Vocab.Encode(w)
+}
+
+// LoadSystem rebuilds a System from a search space written by
+// SaveSearchSpace plus the input dataset. Options are applied as in
+// NewSystem (the corpus itself is not needed again).
+func LoadSystem(r io.Reader, sources map[string]*Frame, opts Options) (*System, error) {
+	vocab, err := entropy.DecodeVocab(r)
+	if err != nil {
+		return nil, err
+	}
+	// Build an empty system shell, then install the decoded vocabulary.
+	placeholder, err := ParseScript("import pandas as pd")
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem([]*Script{placeholder}, sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys.std.Vocab = vocab
+	if opts.Auto {
+		seq, k := core.AutoConfig(vocab.NumScripts, vocab.NumUniqueEdges())
+		sys.std.Config.SeqLength, sys.std.Config.BeamSize = seq, k
+	}
+	return sys, nil
+}
+
+// Anomaly flags one out-of-the-ordinary step of a script.
+type Anomaly struct {
+	// Line is the 1-based position in the lemmatized script.
+	Line int
+	// Source is the canonical step text.
+	Source string
+	// CorpusFrequency is the fraction of corpus scripts using the step.
+	CorpusFrequency float64
+	// REGain is the standardness gain from removing just this step.
+	REGain float64
+}
+
+// DetectAnomalies lists the script's steps used by fewer than maxFrequency
+// of corpus scripts (0 selects the default 0.1), ordered by the standardness
+// gain their removal would yield — the read-only "identify anomalous data
+// preparation steps" usage of Section 6.6.
+func (s *System) DetectAnomalies(sc *Script, maxFrequency float64) []Anomaly {
+	var out []Anomaly
+	for _, a := range s.std.DetectAnomalies(sc, maxFrequency) {
+		out = append(out, Anomaly{
+			Line:            a.Line,
+			Source:          a.Source,
+			CorpusFrequency: a.CorpusFrequency,
+			REGain:          a.REGain,
+		})
+	}
+	return out
+}
+
+// AnomalyReport renders DetectAnomalies as a human-readable block.
+func (s *System) AnomalyReport(sc *Script, maxFrequency float64) string {
+	return s.std.AnomalyReport(sc, maxFrequency)
+}
+
+// RE computes the standardness (relative entropy) of a script against this
+// system's corpus. Lower is more standard.
+func (s *System) RE(sc *Script) float64 {
+	return s.std.Vocab.RE(buildGraph(sc))
+}
+
+// Improvement returns the paper's % improvement between two RE values.
+func Improvement(before, after float64) float64 {
+	return entropy.Improvement(before, after)
+}
