@@ -215,6 +215,49 @@ func BenchmarkCorpusGeneration(b *testing.B) {
 	}
 }
 
+// benchStandardizeTitanic runs the seed Titanic workload end to end with
+// the execution-prefix cache on or off; the pair quantifies the tentpole
+// speedup (see DESIGN.md "Execution caching" for recorded numbers).
+func benchStandardizeTitanic(b *testing.B, disableCache bool) {
+	c, err := corpusgen.Get("Titanic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Enough rows that interpreter execution (not search bookkeeping)
+	// dominates, as in real workloads.
+	gen, err := c.Generate(corpusgen.GenOptions{Seed: 3, MinRows: 4000, NumScripts: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scripts := gen.ScriptsOnly()
+	input := scripts[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh System per iteration so each run starts with a cold cache
+		// (the cache lives for one StandardizeGrid call anyway).
+		sys, err := NewSystem(scripts[1:], gen.Sources, Options{
+			SeqLength:        8,
+			Tau:              0.5,
+			DisableExecCache: disableCache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Standardize(input)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !disableCache && res.ExecCache.StmtsSkipped == 0 {
+			b.Fatal("exec cache reported no skipped statements")
+		}
+	}
+}
+
+func BenchmarkStandardizeExecCacheOn(b *testing.B) { benchStandardizeTitanic(b, false) }
+
+func BenchmarkStandardizeExecCacheOff(b *testing.B) { benchStandardizeTitanic(b, true) }
+
 func BenchmarkStandardizeParallel(b *testing.B) {
 	gen, scripts := medicalFixture(b)
 	sys, err := NewSystem(scripts, gen.Sources, Options{SeqLength: 6, Tau: 0.5, Workers: 4})

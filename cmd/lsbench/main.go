@@ -29,8 +29,9 @@ func main() {
 		scripts  = flag.Int("scripts", 6, "input scripts per dataset (leave-one-out cap)")
 		seq      = flag.Int("seq", 0, "override sequence length (0 = default 16)")
 		beam     = flag.Int("beam", 0, "override beam size (0 = default 3)")
-		datasets = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
+		execCache = flag.String("execcache", "on", "execution-prefix cache: on or off")
+		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -41,6 +42,10 @@ func main() {
 		return
 	}
 
+	if *execCache != "on" && *execCache != "off" {
+		fmt.Fprintf(os.Stderr, "lsbench: -execcache must be on or off, got %q\n", *execCache)
+		os.Exit(2)
+	}
 	opts := bench.Options{
 		Seed:              *seed,
 		RowScale:          *rowScale,
@@ -48,6 +53,7 @@ func main() {
 		ScriptsPerDataset: *scripts,
 		SeqLength:         *seq,
 		BeamSize:          *beam,
+		DisableExecCache:  *execCache == "off",
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"lucidscript"
 )
@@ -47,6 +48,7 @@ func main() {
 		lint       = flag.Bool("lint", false, "only report out-of-the-ordinary steps, do not transform")
 		lintFreq   = flag.Float64("lint-freq", 0.1, "flag steps used by fewer than this fraction of corpus scripts")
 		seed       = flag.Int64("seed", 1, "random seed")
+		execCache  = flag.String("execcache", "on", "execution-prefix cache: on or off (results are identical either way)")
 		dataPaths  stringList
 	)
 	flag.Var(&dataPaths, "data", "CSV data file (repeatable)")
@@ -54,6 +56,10 @@ func main() {
 
 	if *scriptPath == "" || (*corpusDir == "" && *loadSpace == "") || len(dataPaths) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: lsstd -script prep.ls (-corpus dir | -load-space file) -data file.csv")
+		os.Exit(2)
+	}
+	if *execCache != "on" && *execCache != "off" {
+		fmt.Fprintf(os.Stderr, "lsstd: -execcache must be on or off, got %q\n", *execCache)
 		os.Exit(2)
 	}
 
@@ -76,13 +82,14 @@ func main() {
 	}
 
 	opts := lucidscript.Options{
-		SeqLength:    *seq,
-		BeamSize:     *beam,
-		Measure:      lucidscript.IntentMeasure(*measure),
-		Tau:          *tau,
-		TargetColumn: *target,
-		Auto:         *auto,
-		Seed:         *seed,
+		SeqLength:        *seq,
+		BeamSize:         *beam,
+		Measure:          lucidscript.IntentMeasure(*measure),
+		Tau:              *tau,
+		TargetColumn:     *target,
+		Auto:             *auto,
+		Seed:             *seed,
+		DisableExecCache: *execCache == "off",
 	}
 	var sys *lucidscript.System
 	if *loadSpace != "" {
@@ -134,6 +141,13 @@ func main() {
 		res.REBefore, res.REAfter, res.ImprovementPct, res.IntentValue)
 	for _, tr := range res.Transformations {
 		fmt.Fprintln(os.Stderr, "  "+tr)
+	}
+	if *execCache == "on" {
+		ec := res.ExecCache
+		fmt.Fprintf(os.Stderr,
+			"exec cache: %d hits, %d misses, %d evictions; %d statements executed, %d skipped, ~%s exec time saved\n",
+			ec.Hits, ec.Misses, ec.Evictions, ec.StmtsExecuted, ec.StmtsSkipped,
+			ec.EstSavedTime.Round(time.Millisecond))
 	}
 }
 

@@ -37,6 +37,9 @@ type Options struct {
 	SeqLength, BeamSize int
 	// Datasets restricts the competitions (default: all six).
 	Datasets []string
+	// DisableExecCache turns off the execution-prefix cache (the zero
+	// value keeps it on, matching core.DefaultConfig).
+	DisableExecCache bool
 	// Progress receives one line per unit of work when non-nil.
 	Progress io.Writer
 }
@@ -148,6 +151,7 @@ func (g *genCache) get(name string) (*corpusgen.Generated, error) {
 func lsConfig(opts Options, measure intent.Measure, tau float64, target string) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Seed = opts.Seed
+	cfg.ExecCache = !opts.DisableExecCache
 	if opts.SeqLength > 0 {
 		cfg.SeqLength = opts.SeqLength
 	}

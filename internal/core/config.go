@@ -50,6 +50,13 @@ type Config struct {
 	VerifyLimit int
 	// Seed drives sampling and any stochastic tie-breaking.
 	Seed int64
+	// ExecCache enables the prefix-memoized execution cache: candidate
+	// scripts share the interpreter work of every previously executed
+	// statement prefix. Results are identical with the cache on or off.
+	ExecCache bool
+	// ExecCacheSize bounds the cache trie's node count; 0 means the
+	// interp.DefaultCacheSize default.
+	ExecCacheSize int
 	// Constraint is the user-intent constraint (τ and measure).
 	Constraint intent.Constraint
 }
@@ -67,6 +74,7 @@ func DefaultConfig() Config {
 		MaxRows:     50000,
 		VerifyLimit: 0,
 		Seed:        1,
+		ExecCache:   true,
 		Constraint:  intent.Constraint{Measure: intent.MeasureJaccard, Tau: 0.9},
 	}
 }

@@ -28,6 +28,56 @@ type Standardizer struct {
 	Config  Config
 	// CurateTime records how long the offline phase took.
 	CurateTime time.Duration
+
+	// sampled memoizes the MaxRows-sampled sources so the per-candidate
+	// path never pays the sampling loop (optimization 5 runs once, not once
+	// per execution).
+	sampleMu   sync.Mutex
+	sampledKey sampleKey
+	sampled    map[string]*frame.Frame
+}
+
+type sampleKey struct {
+	maxRows int
+	seed    int64
+}
+
+// execSources returns the sources every candidate executes against, with
+// MaxRows sampling applied once and memoized per (MaxRows, Seed).
+func (st *Standardizer) execSources() map[string]*frame.Frame {
+	cfg := st.Config
+	if cfg.MaxRows <= 0 {
+		return st.Sources
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	key := sampleKey{maxRows: cfg.MaxRows, seed: seed}
+	st.sampleMu.Lock()
+	defer st.sampleMu.Unlock()
+	if st.sampled == nil || st.sampledKey != key {
+		st.sampled = interp.SampleSources(st.Sources, cfg.MaxRows, seed)
+		st.sampledKey = key
+	}
+	return st.sampled
+}
+
+// runScript executes a candidate script through the shared session cache
+// when one is active, else via a plain run against the pre-sampled sources.
+func (st *Standardizer) runScript(sess *interp.SessionCache, s *script.Script) (*interp.Result, error) {
+	if sess != nil {
+		return sess.Run(s)
+	}
+	return interp.Run(s, st.execSources(), interp.Options{Seed: st.Config.Seed})
+}
+
+// checkScript is runScript for the execution constraint only.
+func (st *Standardizer) checkScript(sess *interp.SessionCache, s *script.Script) error {
+	if sess != nil {
+		return sess.Check(s)
+	}
+	return interp.CheckExecutes(s, st.execSources(), interp.Options{Seed: st.Config.Seed})
 }
 
 // New curates the search space from corpus scripts (offline phase): each is
@@ -71,6 +121,9 @@ type Result struct {
 	ExecChecks int
 	// Timings is the per-phase runtime breakdown (Figure 7).
 	Timings Timings
+	// CacheStats reports the execution-prefix cache's effectiveness for the
+	// whole StandardizeGrid call (zero when Config.ExecCache is off).
+	CacheStats interp.CacheStats
 }
 
 // Standardize runs Algorithm 1 on the input script.
@@ -110,8 +163,14 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 	g := dag.Build(su)
 	orig := &candidate{lines: g.Lines, re: st.Vocab.RELines(g.Lines)}
 
-	opts := interp.Options{Seed: cfg.Seed, MaxRows: cfg.MaxRows}
-	origRun, err := interp.Run(g.Script, st.Sources, opts)
+	// One shared, mutex-guarded session cache serves every execution in
+	// this call: early checks, parallel beam extensions, and the per-cell
+	// verification runs all reuse each other's statement prefixes.
+	var sess *interp.SessionCache
+	if cfg.ExecCache {
+		sess = interp.NewSessionCache(st.execSources(), interp.Options{Seed: cfg.Seed}, cfg.ExecCacheSize)
+	}
+	origRun, err := st.runScript(sess, g.Script)
 	execChecks++
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInputScriptFails, err)
@@ -130,11 +189,11 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 	for step := 0; step < maxSeq && len(beams) > 0; step++ {
 		var next []*candidate
 		if cfg.Workers > 1 && len(beams) > 1 {
-			next = st.extendAllParallel(beams, globalSeen, &searchTimings, counter)
+			next = st.extendAllParallel(sess, beams, globalSeen, &searchTimings, counter)
 		} else {
 			seen := newSeenSet(globalSeen)
 			for _, cand := range beams {
-				next = st.extendOne(next, cand, seen, &searchTimings, counter)
+				next = st.extendOne(sess, next, cand, seen, &searchTimings, counter)
 			}
 		}
 		for _, c := range next {
@@ -165,7 +224,7 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 		for ci, constraint := range constraints {
 			res := &Result{REBefore: orig.re, Timings: searchTimings, ExecChecks: execChecks}
 			t2 := time.Now()
-			best := st.verifyWith(eligible, orig, constraint, cache, res)
+			best := st.verifyWith(sess, eligible, orig, constraint, cache, res)
 			res.Timings.VerifyConstraints = time.Since(t2)
 			res.Output = dag.ToScript(best.lines)
 			res.REAfter = best.re
@@ -173,6 +232,15 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 			res.Applied = best.applied
 			res.Timings.Total = time.Since(start)
 			results[si][ci] = res
+		}
+	}
+	if sess != nil {
+		// Every cell reports the whole call's cache effectiveness.
+		stats := sess.Stats()
+		for _, row := range results {
+			for _, res := range row {
+				res.CacheStats = stats
+			}
 		}
 	}
 	return results, nil
@@ -250,7 +318,7 @@ func selectBeams(next []*candidate, k int) []*candidate {
 // top-K, verifying the execution constraint first when early checking is on.
 // extendOne runs GetSteps + (diverse) beam extension for one parent beam,
 // appending admitted candidates to next.
-func (st *Standardizer) extendOne(next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *Result) []*candidate {
+func (st *Standardizer) extendOne(sess *interp.SessionCache, next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *Result) []*candidate {
 	cfg := st.Config
 	t0 := time.Now()
 	steps := getStepsOpt(cand, st.Vocab, !cfg.DisableLookahead)
@@ -264,10 +332,10 @@ func (st *Standardizer) extendOne(next []*candidate, cand *candidate, seen *seen
 			per = 1
 		}
 		for _, cl := range clusters {
-			next = st.extendBeams(next, cand, cl, per, seen, counter)
+			next = st.extendBeams(sess, next, cand, cl, per, seen, counter)
 		}
 	} else {
-		next = st.extendBeams(next, cand, steps, cfg.BeamSize, seen, counter)
+		next = st.extendBeams(sess, next, cand, steps, cfg.BeamSize, seen, counter)
 	}
 	timings.GetTopKBeams += time.Since(t1)
 	return next
@@ -278,7 +346,7 @@ func (st *Standardizer) extendOne(next []*candidate, cand *candidate, seen *seen
 // candidates admitted in earlier steps (the shared base set) plus its own
 // local admissions; results merge in parent order with a final cross-beam
 // dedup, so the outcome is deterministic for a fixed configuration.
-func (st *Standardizer) extendAllParallel(beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *Result) []*candidate {
+func (st *Standardizer) extendAllParallel(sess *interp.SessionCache, beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *Result) []*candidate {
 	n := len(beams)
 	results := make([][]*candidate, n)
 	perTimings := make([]Timings, n)
@@ -292,7 +360,7 @@ func (st *Standardizer) extendAllParallel(beams []*candidate, globalSeen map[str
 			defer wg.Done()
 			defer func() { <-sem }()
 			seen := newSeenSet(globalSeen)
-			results[i] = st.extendOne(nil, cand, seen, &perTimings[i], &perCounter[i])
+			results[i] = st.extendOne(sess, nil, cand, seen, &perTimings[i], &perCounter[i])
 		}(i, cand)
 	}
 	wg.Wait()
@@ -333,7 +401,7 @@ func (s *seenSet) has(key string) bool { return s.base[key] || s.local[key] }
 
 func (s *seenSet) add(key string) { s.local[key] = true }
 
-func (st *Standardizer) extendBeams(acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *Result) []*candidate {
+func (st *Standardizer) extendBeams(sess *interp.SessionCache, acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *Result) []*candidate {
 	admitted := 0
 	for _, tr := range steps {
 		if admitted >= k {
@@ -346,8 +414,7 @@ func (st *Standardizer) extendBeams(acc []*candidate, cand *candidate, steps []T
 		}
 		if st.Config.EarlyCheck {
 			t0 := time.Now()
-			err := interp.CheckExecutes(dag.ToScript(nc.lines), st.Sources,
-				interp.Options{Seed: st.Config.Seed, MaxRows: st.Config.MaxRows})
+			err := st.checkScript(sess, dag.ToScript(nc.lines))
 			res.Timings.CheckIfExecutes += time.Since(t0)
 			res.ExecChecks++
 			if err != nil {
@@ -394,8 +461,13 @@ func newVerifyCache(origOut *frame.Frame) *verifyCache {
 	}
 }
 
+// modelKey is a collision-free encoding of every ModelConfig field: %q
+// guards separator characters inside the string fields, and the float is
+// keyed by its exact bit pattern (formatting with %g can collide across
+// distinct values, silently reusing a wrong cached accuracy).
 func modelKey(m intent.ModelConfig) string {
-	return fmt.Sprintf("%s/%d/%g/%d", m.Target, m.Seed, m.TestFrac, m.Epochs)
+	return fmt.Sprintf("%q/%d/%x/%q/%d",
+		m.Target, m.Seed, math.Float64bits(m.TestFrac), m.Protected, m.Epochs)
 }
 
 // satisfied evaluates the constraint against a candidate's cached output,
@@ -441,7 +513,7 @@ func (vc *verifyCache) satisfied(constraint intent.Constraint, cand *candidate, 
 // and the best executable, intent-preserving one wins; the original script
 // is the fallback (improvement 0), matching the paper's guarantee that LS
 // never worsens standardness.
-func (st *Standardizer) verifyWith(archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) *candidate {
+func (st *Standardizer) verifyWith(sess *interp.SessionCache, archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) *candidate {
 	sorted := append([]*candidate(nil), archive...)
 	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
 	checked := 0
@@ -455,8 +527,7 @@ func (st *Standardizer) verifyWith(archive []*candidate, orig *candidate, constr
 		checked++
 		out, cached := cache.out[cand]
 		if !cached {
-			run, err := interp.Run(dag.ToScript(cand.lines), st.Sources,
-				interp.Options{Seed: st.Config.Seed, MaxRows: st.Config.MaxRows})
+			run, err := st.runScript(sess, dag.ToScript(cand.lines))
 			res.ExecChecks++
 			if err != nil || run.Main == nil {
 				cache.out[cand] = nil

@@ -93,6 +93,31 @@ func (f *Frame) SetColumn(s *Series) error {
 	return f.AddColumn(s)
 }
 
+// WithColumn returns a new frame with the column set or appended, sharing
+// every other column with the receiver. It is the functional counterpart of
+// SetColumn: the receiver is not modified, so frames captured by forked
+// interpreter environments (internal/interp's prefix cache) stay valid.
+func (f *Frame) WithColumn(s *Series) (*Frame, error) {
+	if len(f.cols) > 0 && s.Len() != f.NumRows() {
+		return nil, fmt.Errorf("frame: column %q has %d rows, frame has %d", s.name, s.Len(), f.NumRows())
+	}
+	out := &Frame{
+		cols:  make([]*Series, len(f.cols), len(f.cols)+1),
+		index: make(map[string]int, len(f.index)+1),
+	}
+	copy(out.cols, f.cols)
+	for name, i := range f.index {
+		out.index[name] = i
+	}
+	if i, ok := out.index[s.name]; ok {
+		out.cols[i] = s
+	} else {
+		out.index[s.name] = len(out.cols)
+		out.cols = append(out.cols, s)
+	}
+	return out, nil
+}
+
 // Clone returns a deep copy of the frame.
 func (f *Frame) Clone() *Frame {
 	out := New()

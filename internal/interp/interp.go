@@ -17,7 +17,73 @@ type Env struct {
 	// dfOrder records the assignment order of DataFrame-valued variables so
 	// the "output dataset" of a script can be recovered (see Result).
 	dfOrder []string
+	rsrc    *replaySource
 	rng     *rand.Rand
+}
+
+// replaySource is a rand.Source whose exact state can be reconstructed: it
+// records the seed and how many values have been drawn, so a fork replays a
+// fresh source to the same position. The Int63 stream is identical to using
+// rand.NewSource(seed) directly, keeping historical run outputs stable.
+type replaySource struct {
+	seed int64
+	n    int64
+	src  rand.Source
+}
+
+func newReplaySource(seed int64) *replaySource {
+	return &replaySource{seed: seed, src: rand.NewSource(seed)}
+}
+
+func (r *replaySource) Int63() int64 {
+	r.n++
+	return r.src.Int63()
+}
+
+func (r *replaySource) Seed(seed int64) {
+	r.seed, r.n = seed, 0
+	r.src.Seed(seed)
+}
+
+func (r *replaySource) fork() *replaySource {
+	src := rand.NewSource(r.seed)
+	for i := int64(0); i < r.n; i++ {
+		src.Int63()
+	}
+	return &replaySource{seed: r.seed, n: r.n, src: src}
+}
+
+// newEnv builds a fresh environment over already-sampled sources.
+func newEnv(sources map[string]*frame.Frame, seed int64) *Env {
+	rsrc := newReplaySource(seed)
+	return &Env{
+		sources: sources,
+		vars:    map[string]Value{},
+		rsrc:    rsrc,
+		rng:     rand.New(rsrc),
+	}
+}
+
+// fork returns an independent copy of the environment: the variable map and
+// dfOrder are copied, the RNG is replayed to the same position, and the
+// bound values themselves are shared. Sharing is safe because statement
+// execution is functional over frames and series — an operation never
+// mutates a value created by an earlier statement (column and .loc
+// assignment rebind their variable to a new frame instead of writing into
+// the old one) — so two environments can hold the same *DF.
+func (e *Env) fork() *Env {
+	vars := make(map[string]Value, len(e.vars))
+	for k, v := range e.vars {
+		vars[k] = v
+	}
+	rsrc := e.rsrc.fork()
+	return &Env{
+		sources: e.sources,
+		vars:    vars,
+		dfOrder: append([]string(nil), e.dfOrder...),
+		rsrc:    rsrc,
+		rng:     rand.New(rsrc),
+	}
 }
 
 // Result is what a completed script run produced: the output dataset
@@ -43,28 +109,33 @@ type Options struct {
 	MaxRows int
 }
 
+// SampleSources applies the MaxRows input-sampling optimization once: every
+// frame larger than maxRows is down-sampled deterministically with the seed.
+// The input map is returned unchanged when maxRows is not positive. Callers
+// that run many scripts against the same sources (the search loop) sample
+// once up front instead of paying the loop on every Run.
+func SampleSources(sources map[string]*frame.Frame, maxRows int, seed int64) map[string]*frame.Frame {
+	if maxRows <= 0 {
+		return sources
+	}
+	srcs := make(map[string]*frame.Frame, len(sources))
+	for name, f := range sources {
+		if f.NumRows() > maxRows {
+			srcs[name] = f.Sample(maxRows, seed)
+		} else {
+			srcs[name] = f
+		}
+	}
+	return srcs
+}
+
 // Run executes the script against the named data sources
 // (file name → frame, standing in for the files read by pd.read_csv).
 func Run(s *script.Script, sources map[string]*frame.Frame, opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	srcs := sources
-	if opts.MaxRows > 0 {
-		srcs = make(map[string]*frame.Frame, len(sources))
-		for name, f := range sources {
-			if f.NumRows() > opts.MaxRows {
-				srcs[name] = f.Sample(opts.MaxRows, opts.Seed)
-			} else {
-				srcs[name] = f
-			}
-		}
-	}
-	env := &Env{
-		sources: srcs,
-		vars:    map[string]Value{},
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-	}
+	env := newEnv(SampleSources(sources, opts.MaxRows, opts.Seed), opts.Seed)
 	for i, st := range s.Stmts {
 		if err := env.exec(st); err != nil {
 			return nil, fmt.Errorf("interp: line %d (%s): %w", i+1, st.Source(), err)
@@ -152,6 +223,10 @@ func (e *Env) execAssign(s *script.AssignStmt) error {
 }
 
 // assignIndexed handles df["col"] = v and df.loc[labels, "col"] = v.
+// Both are functional: the frame bound to the variable is never written
+// into; the variable is rebound to a new frame that shares every untouched
+// column. This keeps environments forkable for the prefix cache — a frame
+// captured by a cached environment can never change under it.
 func (e *Env) assignIndexed(tgt *script.IndexExpr, val Value) error {
 	// df.loc[labels, "col"] = v
 	if attr, ok := tgt.X.(*script.AttrExpr); ok && attr.Attr == "loc" {
@@ -177,7 +252,22 @@ func (e *Env) assignIndexed(tgt *script.IndexExpr, val Value) error {
 	if err != nil {
 		return err
 	}
-	return df.F.SetColumn(series)
+	nf, err := df.F.WithColumn(series)
+	if err != nil {
+		return err
+	}
+	e.rebind(tgt.X, &DF{F: nf, Index: df.Index})
+	return nil
+}
+
+// rebind points the variable the assignment targeted at the updated frame.
+// A non-variable target (a temporary such as df.head(5)["x"] = 1) has no
+// binding to update; the assignment then has no observable effect, exactly
+// like pandas' chained-assignment behavior.
+func (e *Env) rebind(target script.Expr, df *DF) {
+	if id, ok := target.(*script.Ident); ok {
+		e.vars[id.Name] = df
+	}
 }
 
 func (e *Env) assignLoc(attr *script.AttrExpr, index script.Expr, val Value) error {
@@ -234,48 +324,48 @@ func (e *Env) assignLoc(attr *script.AttrExpr, index script.Expr, val Value) err
 	if err != nil {
 		// pandas creates the column, null elsewhere.
 		target = frame.NewEmptySeries(col, frame.Float, df.F.NumRows())
-		if s, ok := val.(string); ok {
-			_ = s
+		if _, ok := val.(string); ok {
 			target = frame.NewEmptySeries(col, frame.String, df.F.NumRows())
 		}
-		if err := df.F.SetColumn(target); err != nil {
-			return err
-		}
 	}
+	// Build the updated column without writing into the bound frame (the
+	// frame may be shared with forked environments), then rebind.
+	var conv *frame.Series
 	switch v := val.(type) {
 	case float64:
 		if target.Kind() == frame.String {
+			conv = target.Clone()
 			for _, p := range pos {
-				target.SetString(p, trimFloat(v))
+				conv.SetString(p, trimFloat(v))
 			}
-			return nil
+			break
 		}
-		conv := target
 		if target.Kind() != frame.Float {
 			conv = target.AsType(frame.Float)
-			if err := df.F.SetColumn(conv); err != nil {
-				return err
-			}
+		} else {
+			conv = target.Clone()
 		}
 		for _, p := range pos {
 			conv.SetFloat(p, v)
 		}
-		return nil
 	case string:
-		conv := target
 		if target.Kind() != frame.String {
 			conv = target.AsType(frame.String)
-			if err := df.F.SetColumn(conv); err != nil {
-				return err
-			}
+		} else {
+			conv = target.Clone()
 		}
 		for _, p := range pos {
 			conv.SetString(p, v)
 		}
-		return nil
 	default:
 		return fmt.Errorf(".loc assignment of %s not supported", typeName(val))
 	}
+	nf, err := df.F.WithColumn(conv)
+	if err != nil {
+		return err
+	}
+	e.rebind(attr.X, &DF{F: nf, Index: df.Index})
+	return nil
 }
 
 func trimFloat(v float64) string {

@@ -1,0 +1,207 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lucidscript/internal/frame"
+	"lucidscript/internal/script"
+)
+
+// CacheStats counts what a SessionCache did. Hits/Misses are per-statement
+// trie lookups; StmtsSkipped/StmtsExecuted mirror them so the search layer
+// can report how much interpreter work the prefix cache avoided.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	StmtsExecuted int64
+	StmtsSkipped  int64
+	// ExecTime is the wall time spent actually executing statements
+	// (cache misses only).
+	ExecTime time.Duration
+}
+
+// EstSavedTime extrapolates the execution time the cache avoided, assuming
+// skipped statements would have cost the mean observed per-statement time.
+func (c CacheStats) EstSavedTime() time.Duration {
+	if c.StmtsExecuted == 0 {
+		return 0
+	}
+	per := float64(c.ExecTime) / float64(c.StmtsExecuted)
+	return time.Duration(per * float64(c.StmtsSkipped))
+}
+
+// trieNode is one executed statement prefix. The path from the root spells
+// the exact statement texts executed so far; env is the (immutable) forked
+// environment after executing that prefix, or nil when the prefix fails,
+// in which case err holds the failure.
+type trieNode struct {
+	key      string
+	parent   *trieNode
+	children map[string]*trieNode
+	env      *Env
+	err      error
+	lastUsed int64
+}
+
+// SessionCache executes scripts statement-by-statement through a trie of
+// previously executed prefixes: a candidate script only pays for the
+// statements after its first divergence from any earlier candidate. Safe for
+// concurrent use; statement execution happens outside the lock.
+//
+// Correctness rests on two properties the interpreter now guarantees:
+// execution is deterministic (fixed sources, seeded replayable RNG), and no
+// operation mutates a frame or series reachable from an earlier environment
+// (assignments rebind variables to fresh frames instead). Equal prefix text
+// therefore implies an equal environment, and cached environments stay valid
+// forever.
+type SessionCache struct {
+	mu       sync.Mutex
+	root     *trieNode
+	maxNodes int
+	nodes    int
+	clock    int64
+	stats    CacheStats
+}
+
+// DefaultCacheSize bounds the trie when the caller passes maxNodes <= 0.
+const DefaultCacheSize = 8192
+
+// NewSessionCache builds a cache over the given sources. MaxRows sampling
+// is applied once here (not per run); opts.Seed seeds every execution.
+func NewSessionCache(sources map[string]*frame.Frame, opts Options, maxNodes int) *SessionCache {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if maxNodes <= 0 {
+		maxNodes = DefaultCacheSize
+	}
+	srcs := SampleSources(sources, opts.MaxRows, opts.Seed)
+	return &SessionCache{
+		root:     &trieNode{env: newEnv(srcs, opts.Seed)},
+		maxNodes: maxNodes,
+	}
+}
+
+// Run executes the script, reusing every previously executed prefix.
+// The result is identical to interp.Run with the same sources and options.
+func (c *SessionCache) Run(s *script.Script) (*Result, error) {
+	node := c.root
+	for i, st := range s.Stmts {
+		next, err := c.step(node, i, st)
+		if err != nil {
+			return nil, err
+		}
+		node = next
+	}
+	// Fork so the caller never holds a reference to a cached environment.
+	c.mu.Lock()
+	env := node.env.fork()
+	c.mu.Unlock()
+	return env.result(), nil
+}
+
+// Check reports whether the script runs without error (the execution
+// constraint), through the cache.
+func (c *SessionCache) Check(s *script.Script) error {
+	_, err := c.Run(s)
+	return err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *SessionCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// step advances one statement from node, returning the child node for st.
+// On a hit the cached child is returned; on a miss the parent environment is
+// forked and the statement executed outside the lock, then inserted. When two
+// goroutines race on the same miss, the first insert wins and the loser's
+// result is discarded — determinism makes them interchangeable.
+func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode, error) {
+	key := st.Source()
+	c.mu.Lock()
+	c.clock++
+	if child, ok := node.children[key]; ok {
+		child.lastUsed = c.clock
+		c.stats.Hits++
+		c.stats.StmtsSkipped++
+		c.mu.Unlock()
+		return child, child.err
+	}
+	c.stats.Misses++
+	c.stats.StmtsExecuted++
+	env := node.env.fork()
+	c.mu.Unlock()
+
+	start := time.Now()
+	execErr := env.exec(st)
+	elapsed := time.Since(start)
+	if execErr != nil {
+		execErr = fmt.Errorf("interp: line %d (%s): %w", line+1, key, execErr)
+		env = nil
+	}
+
+	c.mu.Lock()
+	c.stats.ExecTime += elapsed
+	c.clock++
+	if child, ok := node.children[key]; ok {
+		// Lost the race; keep the first-inserted node.
+		child.lastUsed = c.clock
+		c.mu.Unlock()
+		return child, child.err
+	}
+	child := &trieNode{key: key, parent: node, env: env, err: execErr, lastUsed: c.clock}
+	if node.children == nil {
+		node.children = make(map[string]*trieNode)
+	}
+	node.children[key] = child
+	c.nodes++
+	if c.nodes > c.maxNodes {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return child, child.err
+}
+
+// evictLocked drops least-recently-used leaves until the trie is at 90% of
+// capacity. Only leaves are evicted (an interior node's environment is still
+// the fork source for its children); the root never goes away. Called with
+// c.mu held.
+func (c *SessionCache) evictLocked() {
+	target := c.maxNodes * 9 / 10
+	for c.nodes > target {
+		var leaves []*trieNode
+		c.walkLeaves(c.root, func(n *trieNode) { leaves = append(leaves, n) })
+		if len(leaves) == 0 {
+			return
+		}
+		sort.Slice(leaves, func(i, j int) bool { return leaves[i].lastUsed < leaves[j].lastUsed })
+		for _, v := range leaves {
+			if c.nodes <= target {
+				break
+			}
+			delete(v.parent.children, v.key)
+			c.nodes--
+			c.stats.Evictions++
+		}
+		// Evicting leaves can expose new leaves; loop until at target.
+	}
+}
+
+func (c *SessionCache) walkLeaves(n *trieNode, fn func(*trieNode)) {
+	if len(n.children) == 0 {
+		if n != c.root {
+			fn(n)
+		}
+		return
+	}
+	for _, ch := range n.children {
+		c.walkLeaves(ch, fn)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"lucidscript/internal/core"
 	"lucidscript/internal/entropy"
@@ -105,10 +106,28 @@ type Options struct {
 	// fixed configuration; may differ slightly from the sequential search
 	// (per-beam candidate de-duplication).
 	Workers int
+	// DisableExecCache turns off the execution-prefix cache that shares
+	// interpreter work across beam-search candidates. Results are identical
+	// either way; the cache only changes speed.
+	DisableExecCache bool
 }
 
 // ErrEmptyCorpus is returned when no corpus scripts are supplied.
 var ErrEmptyCorpus = errors.New("lucidscript: corpus is empty")
+
+// ExecCacheStats reports the execution-prefix cache's effectiveness for
+// one standardization (all zeros when the cache is disabled).
+type ExecCacheStats struct {
+	// Hits and Misses count per-statement prefix lookups.
+	Hits, Misses int64
+	// Evictions counts cache entries dropped to stay within the size bound.
+	Evictions int64
+	// StmtsExecuted and StmtsSkipped count interpreter statement
+	// executions performed vs. avoided by prefix reuse.
+	StmtsExecuted, StmtsSkipped int64
+	// EstSavedTime extrapolates the execution time the cache avoided.
+	EstSavedTime time.Duration
+}
 
 // Result reports one standardization.
 type Result struct {
@@ -126,6 +145,8 @@ type Result struct {
 	// Explanations justifies each edit: corpus frequency, RE impact, and a
 	// one-sentence rationale (parallel to Transformations).
 	Explanations []string
+	// ExecCache reports the execution-prefix cache's effectiveness.
+	ExecCache ExecCacheStats
 }
 
 // System is a standardizer bound to one corpus and dataset; it is safe to
@@ -157,6 +178,7 @@ func NewSystem(corpus []*Script, sources map[string]*Frame, opts Options) (*Syst
 	if opts.Workers > 0 {
 		cfg.Workers = opts.Workers
 	}
+	cfg.ExecCache = !opts.DisableExecCache
 	switch opts.Measure {
 	case "", IntentJaccard:
 		tau := opts.Tau
@@ -225,6 +247,14 @@ func (s *System) Standardize(input *Script) (*Result, error) {
 		REAfter:        res.REAfter,
 		ImprovementPct: res.ImprovementPct,
 		IntentValue:    res.IntentValue,
+		ExecCache: ExecCacheStats{
+			Hits:          res.CacheStats.Hits,
+			Misses:        res.CacheStats.Misses,
+			Evictions:     res.CacheStats.Evictions,
+			StmtsExecuted: res.CacheStats.StmtsExecuted,
+			StmtsSkipped:  res.CacheStats.StmtsSkipped,
+			EstSavedTime:  res.CacheStats.EstSavedTime(),
+		},
 	}
 	for _, tr := range res.Applied {
 		out.Transformations = append(out.Transformations, tr.String())
