@@ -237,6 +237,68 @@ func TestLSStdCLISaveLoadSpace(t *testing.T) {
 	}
 }
 
+func TestLSStdCLITraceAndMetrics(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-tau", "0.5", "-seq", "6", "-trace", "-metrics-dump")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("lsstd -trace: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(string(out), "read_csv") {
+		t.Fatalf("output script missing:\n%s", out)
+	}
+	progress := stderr.String()
+	for _, want := range []string{"curate_done", "search_start", "step_done", "verify_done", "search_done"} {
+		if !strings.Contains(progress, want) {
+			t.Fatalf("trace stream missing %q:\n%s", want, progress)
+		}
+	}
+	for _, want := range []string{
+		"lucidscript_searches_total 1",
+		"lucidscript_statements_executed_total",
+		"# TYPE lucidscript_exec_cache_hits_total counter",
+	} {
+		if !strings.Contains(progress, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, progress)
+		}
+	}
+}
+
+func TestLSStdCLITimeout(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	// A 1ns budget expires before the search starts; the CLI must still
+	// exit 0 and print the best (unchanged) script with a note on stderr.
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-tau", "0.5", "-seq", "6", "-timeout", "1ns")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("lsstd -timeout: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("no interruption note:\n%s", stderr.String())
+	}
+	// The timed-out run passes the input through: its distinctive median
+	// fill (absent from every corpus script) must survive.
+	if !strings.Contains(string(out), "median") {
+		t.Fatalf("timed-out run should print the input unchanged:\n%s", out)
+	}
+	// An invalid (negative) timeout is rejected up front.
+	if err := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-timeout", "-5s").Run(); err == nil {
+		t.Fatal("negative timeout should fail")
+	}
+}
+
 func TestLSStdCLILint(t *testing.T) {
 	bin := buildCLIs(t)
 	_, csv, scriptPath, corpusDir := writeFixtures(t)

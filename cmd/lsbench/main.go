@@ -17,21 +17,24 @@ import (
 	"time"
 
 	"lucidscript/internal/bench"
+	"lucidscript/internal/obs"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (e.g. table5, fig9) or 'all'")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		seed     = flag.Int64("seed", 1, "random seed")
-		rowScale = flag.Float64("rowscale", 0.02, "fraction of each competition's full tuple count")
-		minRows  = flag.Int("minrows", 240, "minimum rows per dataset")
-		scripts  = flag.Int("scripts", 6, "input scripts per dataset (leave-one-out cap)")
-		seq      = flag.Int("seq", 0, "override sequence length (0 = default 16)")
-		beam     = flag.Int("beam", 0, "override beam size (0 = default 3)")
-		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
-		execCache = flag.String("execcache", "on", "execution-prefix cache: on or off")
-		quiet     = flag.Bool("q", false, "suppress progress output")
+		exp         = flag.String("exp", "all", "experiment id (e.g. table5, fig9) or 'all'")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		seed        = flag.Int64("seed", 1, "random seed")
+		rowScale    = flag.Float64("rowscale", 0.02, "fraction of each competition's full tuple count")
+		minRows     = flag.Int("minrows", 240, "minimum rows per dataset")
+		scripts     = flag.Int("scripts", 6, "input scripts per dataset (leave-one-out cap)")
+		seq         = flag.Int("seq", 0, "override sequence length (0 = default 16)")
+		beam        = flag.Int("beam", 0, "override beam size (0 = default 3)")
+		datasets    = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
+		execCache   = flag.String("execcache", "on", "execution-prefix cache: on or off")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+		trace       = flag.Bool("trace", false, "stream structured search events to stderr")
+		metricsDump = flag.Bool("metrics-dump", false, "print cumulative search counters in Prometheus text format to stderr on exit")
 	)
 	flag.Parse()
 
@@ -61,6 +64,14 @@ func main() {
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
+	if *trace {
+		opts.Tracer = obs.NewWriterTracer(os.Stderr)
+	}
+	var metrics *obs.Metrics
+	if *metricsDump {
+		metrics = obs.NewMetrics()
+		opts.Metrics = metrics
+	}
 
 	var ids []string
 	if *exp == "all" {
@@ -84,5 +95,10 @@ func main() {
 		}
 		fmt.Printf("\n%s\n", t.Render())
 		fmt.Printf("[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if metrics != nil {
+		if err := metrics.WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "lsbench: metrics dump:", err)
+		}
 	}
 }

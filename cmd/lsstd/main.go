@@ -6,19 +6,28 @@
 //
 //	lsstd -script my_prep.ls -corpus scripts_dir -data diabetes.csv \
 //	      [-measure jaccard|model] [-tau 0.9] [-target Outcome] \
-//	      [-seq 16] [-beam 3] [-auto]
+//	      [-seq 16] [-beam 3] [-auto] \
+//	      [-timeout 30s] [-trace] [-metrics-dump]
+//
+// A -timeout (or Ctrl-C) aborts the search and prints the best result
+// found so far; -trace streams structured search events to stderr and
+// -metrics-dump prints cumulative counters in Prometheus text format.
 //
 // The corpus directory is scanned for *.ls and *.py files (straight-line
 // pandas-style scripts).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"lucidscript"
@@ -35,21 +44,24 @@ func (s *stringList) Set(v string) error {
 
 func main() {
 	var (
-		scriptPath = flag.String("script", "", "path to the input LSL script (required)")
-		corpusDir  = flag.String("corpus", "", "directory of corpus scripts (required unless -load-space)")
-		saveSpace  = flag.String("save-space", "", "write the curated search space to this file")
-		loadSpace  = flag.String("load-space", "", "load a search space written by -save-space instead of curating -corpus")
-		measure    = flag.String("measure", "jaccard", "user-intent measure: jaccard or model")
-		tau        = flag.Float64("tau", 0, "intent threshold (default 0.9 jaccard / 1% model)")
-		target     = flag.String("target", "", "label column (required for -measure model)")
-		seq        = flag.Int("seq", 0, "max transformations (default 16)")
-		beam       = flag.Int("beam", 0, "beam size (default 3)")
-		auto       = flag.Bool("auto", false, "derive seq/beam from corpus statistics (Table 2)")
-		lint       = flag.Bool("lint", false, "only report out-of-the-ordinary steps, do not transform")
-		lintFreq   = flag.Float64("lint-freq", 0.1, "flag steps used by fewer than this fraction of corpus scripts")
-		seed       = flag.Int64("seed", 1, "random seed")
-		execCache  = flag.String("execcache", "on", "execution-prefix cache: on or off (results are identical either way)")
-		dataPaths  stringList
+		scriptPath  = flag.String("script", "", "path to the input LSL script (required)")
+		corpusDir   = flag.String("corpus", "", "directory of corpus scripts (required unless -load-space)")
+		saveSpace   = flag.String("save-space", "", "write the curated search space to this file")
+		loadSpace   = flag.String("load-space", "", "load a search space written by -save-space instead of curating -corpus")
+		measure     = flag.String("measure", "jaccard", "user-intent measure: jaccard or model")
+		tau         = flag.Float64("tau", 0, "intent threshold (default 0.9 jaccard / 1% model)")
+		target      = flag.String("target", "", "label column (required for -measure model)")
+		seq         = flag.Int("seq", 0, "max transformations (default 16)")
+		beam        = flag.Int("beam", 0, "beam size (default 3)")
+		auto        = flag.Bool("auto", false, "derive seq/beam from corpus statistics (Table 2)")
+		lint        = flag.Bool("lint", false, "only report out-of-the-ordinary steps, do not transform")
+		lintFreq    = flag.Float64("lint-freq", 0.1, "flag steps used by fewer than this fraction of corpus scripts")
+		seed        = flag.Int64("seed", 1, "random seed")
+		execCache   = flag.String("execcache", "on", "execution-prefix cache: on or off (results are identical either way)")
+		timeout     = flag.Duration("timeout", 0, "abort the search after this duration, keeping the best partial result (e.g. 30s; 0 = no limit)")
+		trace       = flag.Bool("trace", false, "stream structured search events to stderr")
+		metricsDump = flag.Bool("metrics-dump", false, "print search counters in Prometheus text format to stderr on exit")
+		dataPaths   stringList
 	)
 	flag.Var(&dataPaths, "data", "CSV data file (repeatable)")
 	flag.Parse()
@@ -90,6 +102,15 @@ func main() {
 		Auto:             *auto,
 		Seed:             *seed,
 		DisableExecCache: *execCache == "off",
+		Timeout:          *timeout,
+	}
+	if *trace {
+		opts.Tracer = lucidscript.NewWriterTracer(os.Stderr)
+	}
+	var metrics *lucidscript.Metrics
+	if *metricsDump {
+		metrics = lucidscript.NewMetrics()
+		opts.Metrics = metrics
 	}
 	var sys *lucidscript.System
 	if *loadSpace != "" {
@@ -132,9 +153,25 @@ func main() {
 		return
 	}
 
-	res, err := sys.Standardize(input)
+	// Ctrl-C cancels the search cleanly: the best partial result (usually
+	// the unchanged input) is still printed, with a note on stderr.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := sys.StandardizeContext(ctx, input)
 	if err != nil {
-		fatal(err)
+		if !errors.Is(err, lucidscript.ErrCanceled) && !errors.Is(err, lucidscript.ErrDeadlineExceeded) {
+			dumpMetrics(metrics)
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "lsstd: search interrupted, printing best result so far:", err)
+		if res == nil {
+			// The deadline fired before the input even executed; pass the
+			// script through unchanged.
+			fmt.Print(input.Source())
+			dumpMetrics(metrics)
+			return
+		}
 	}
 	fmt.Print(res.Script.Source())
 	fmt.Fprintf(os.Stderr, "RE: %.3f -> %.3f (%.1f%% improvement), intent %.3f\n",
@@ -148,6 +185,22 @@ func main() {
 			"exec cache: %d hits, %d misses, %d evictions; %d statements executed, %d skipped, ~%s exec time saved\n",
 			ec.Hits, ec.Misses, ec.Evictions, ec.StmtsExecuted, ec.StmtsSkipped,
 			ec.EstSavedTime.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "time: %s total (%s search, %s verify)\n",
+		res.Timings.Total.Round(time.Millisecond),
+		(res.Timings.GetSteps + res.Timings.GetTopKBeams + res.Timings.CheckIfExecutes).Round(time.Millisecond),
+		res.Timings.VerifyConstraints.Round(time.Millisecond))
+	dumpMetrics(metrics)
+}
+
+// dumpMetrics prints the collected counters to stderr when -metrics-dump
+// is on (metrics is nil otherwise).
+func dumpMetrics(m *lucidscript.Metrics) {
+	if m == nil {
+		return
+	}
+	if err := m.WritePrometheus(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lsstd: metrics dump:", err)
 	}
 }
 

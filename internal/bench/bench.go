@@ -18,6 +18,7 @@ import (
 	"lucidscript/internal/entropy"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/intent"
+	"lucidscript/internal/obs"
 	"lucidscript/internal/script"
 )
 
@@ -42,6 +43,12 @@ type Options struct {
 	DisableExecCache bool
 	// Progress receives one line per unit of work when non-nil.
 	Progress io.Writer
+	// Tracer, when non-nil, receives structured search events from every
+	// standardization the experiments run.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, accumulates search counters across every
+	// standardization the experiments run.
+	Metrics *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +159,8 @@ func lsConfig(opts Options, measure intent.Measure, tau float64, target string) 
 	cfg := core.DefaultConfig()
 	cfg.Seed = opts.Seed
 	cfg.ExecCache = !opts.DisableExecCache
+	cfg.Tracer = opts.Tracer
+	cfg.Metrics = opts.Metrics
 	if opts.SeqLength > 0 {
 		cfg.SeqLength = opts.SeqLength
 	}

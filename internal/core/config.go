@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lucidscript/internal/intent"
+	"lucidscript/internal/obs"
 )
 
 // Config holds the search parameters of Algorithm 1.
@@ -59,6 +60,14 @@ type Config struct {
 	ExecCacheSize int
 	// Constraint is the user-intent constraint (τ and measure).
 	Constraint intent.Constraint
+	// Tracer receives structured search events (see internal/obs); nil
+	// disables tracing entirely — the search hot path never constructs an
+	// event unless a tracer is installed.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, accumulates the obs counters (statements
+	// executed, cache traffic, beams pruned, verifications, per-phase wall
+	// clock) across every standardization run with this config.
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig returns the paper's default LS configuration

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -132,13 +133,21 @@ type ParetoPoint struct {
 // Thresholds are interpreted by the configured measure (τ_J values in
 // [0,1] or τ_M percentages).
 func (st *Standardizer) ParetoFrontier(su *script.Script, taus []float64) ([]ParetoPoint, error) {
+	return st.ParetoFrontierContext(context.Background(), su, taus)
+}
+
+// ParetoFrontierContext is ParetoFrontier with cancellation (the shared
+// beam search and every per-threshold verification poll the context).
+// Unlike StandardizeGridContext, a canceled frontier returns no points: a
+// partially explored trade-off curve would be misleading.
+func (st *Standardizer) ParetoFrontierContext(ctx context.Context, su *script.Script, taus []float64) ([]ParetoPoint, error) {
 	constraints := make([]intent.Constraint, len(taus))
 	for i, tau := range taus {
 		c := st.Config.Constraint
 		c.Tau = tau
 		constraints[i] = c
 	}
-	grid, err := st.StandardizeGrid(su, []int{st.Config.SeqLength}, constraints)
+	grid, err := st.StandardizeGridContext(ctx, su, []int{st.Config.SeqLength}, constraints)
 	if err != nil {
 		return nil, err
 	}

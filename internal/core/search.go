@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"lucidscript/internal/frame"
 	"lucidscript/internal/intent"
 	"lucidscript/internal/interp"
+	"lucidscript/internal/obs"
 	"lucidscript/internal/script"
 )
 
@@ -65,19 +68,20 @@ func (st *Standardizer) execSources() map[string]*frame.Frame {
 
 // runScript executes a candidate script through the shared session cache
 // when one is active, else via a plain run against the pre-sampled sources.
-func (st *Standardizer) runScript(sess *interp.SessionCache, s *script.Script) (*interp.Result, error) {
+// The context cancels at statement granularity.
+func (st *Standardizer) runScript(ctx context.Context, sess *interp.SessionCache, s *script.Script) (*interp.Result, error) {
 	if sess != nil {
-		return sess.Run(s)
+		return sess.RunContext(ctx, s)
 	}
-	return interp.Run(s, st.execSources(), interp.Options{Seed: st.Config.Seed})
+	return interp.RunContext(ctx, s, st.execSources(), interp.Options{Seed: st.Config.Seed})
 }
 
 // checkScript is runScript for the execution constraint only.
-func (st *Standardizer) checkScript(sess *interp.SessionCache, s *script.Script) error {
+func (st *Standardizer) checkScript(ctx context.Context, sess *interp.SessionCache, s *script.Script) error {
 	if sess != nil {
-		return sess.Check(s)
+		return sess.CheckContext(ctx, s)
 	}
-	return interp.CheckExecutes(s, st.execSources(), interp.Options{Seed: st.Config.Seed})
+	return interp.CheckExecutesContext(ctx, s, st.execSources(), interp.Options{Seed: st.Config.Seed})
 }
 
 // New curates the search space from corpus scripts (offline phase): each is
@@ -128,11 +132,22 @@ type Result struct {
 
 // Standardize runs Algorithm 1 on the input script.
 func (st *Standardizer) Standardize(su *script.Script) (*Result, error) {
-	grid, err := st.StandardizeGrid(su, []int{st.Config.SeqLength}, []intent.Constraint{st.Config.Constraint})
-	if err != nil {
+	return st.StandardizeContext(context.Background(), su)
+}
+
+// StandardizeContext is Standardize with cancellation: the context is
+// checked between beam extensions and at statement granularity inside the
+// interpreter, so a deadline aborts mid-candidate. On cancellation it
+// returns ErrCanceled/ErrDeadlineExceeded together with a partial, non-nil
+// Result (the best constraint-verified candidate found so far — the input
+// script when verification had not begun) whose Timings and CacheStats
+// describe the truncated run.
+func (st *Standardizer) StandardizeContext(ctx context.Context, su *script.Script) (*Result, error) {
+	grid, err := st.StandardizeGridContext(ctx, su, []int{st.Config.SeqLength}, []intent.Constraint{st.Config.Constraint})
+	if grid == nil {
 		return nil, err
 	}
-	return grid[0][0], nil
+	return grid[0][0], err
 }
 
 // StandardizeGrid runs the beam search once to the largest requested
@@ -147,8 +162,19 @@ func (st *Standardizer) Standardize(su *script.Script) (*Result, error) {
 // set of a seq=s run. The ablation and threshold sweeps of Figures 5, 6 and
 // 9 use this to share one search across all cells.
 func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constraints []intent.Constraint) ([][]*Result, error) {
+	return st.StandardizeGridContext(context.Background(), su, seqs, constraints)
+}
+
+// StandardizeGridContext is StandardizeGrid with cancellation and tracing.
+// The context is polled between beam extensions, between verification
+// candidates, and before every interpreter statement, so a deadline aborts
+// mid-candidate. On cancellation it returns both a non-nil grid — every
+// cell verified against whatever archive the truncated search produced,
+// falling back to the input script — and ErrCanceled/ErrDeadlineExceeded.
+func (st *Standardizer) StandardizeGridContext(ctx context.Context, su *script.Script, seqs []int, constraints []intent.Constraint) ([][]*Result, error) {
 	cfg := st.Config
-	start := time.Now()
+	o := newObsState(ctx, cfg)
+	start := o.start
 	maxSeq := 0
 	for _, s := range seqs {
 		if s > maxSeq {
@@ -157,11 +183,17 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 	}
 	var searchTimings Timings
 	searchTimings.CurateSearchSpace = st.CurateTime
-	execChecks := 0
+	var gs gridStats
+	if o.enabled() {
+		o.emit(obs.Event{Kind: obs.EvCurateDone, Phase: obs.PhaseCurate, N: st.Vocab.NumScripts, Dur: st.CurateTime})
+	}
 
 	// Lemmatize the input and compute its baseline.
 	g := dag.Build(su)
 	orig := &candidate{lines: g.Lines, re: st.Vocab.RELines(g.Lines)}
+	if o.enabled() {
+		o.emit(obs.Event{Kind: obs.EvSearchStart, Phase: obs.PhaseExtend, N: len(g.Lines)})
+	}
 
 	// One shared, mutex-guarded session cache serves every execution in
 	// this call: early checks, parallel beam extensions, and the per-cell
@@ -170,30 +202,48 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 	if cfg.ExecCache {
 		sess = interp.NewSessionCache(st.execSources(), interp.Options{Seed: cfg.Seed}, cfg.ExecCacheSize)
 	}
-	origRun, err := st.runScript(sess, g.Script)
-	execChecks++
+	t0 := time.Now()
+	origRun, err := st.runScript(o.ctxCheck, sess, g.Script)
+	gs.execChecks++
 	if err != nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			o.emit(obs.Event{Kind: obs.EvCanceled, Phase: obs.PhaseCheck, Err: cerr.Error()})
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("%w: %v", ErrInputScriptFails, err)
 	}
 	if origRun.Main == nil {
 		return nil, fmt.Errorf("%w: script produces no dataset", ErrInputScriptFails)
 	}
 	orig.checked = true
+	if o.enabled() {
+		o.emit(obs.Event{Kind: obs.EvCandidateExecuted, Phase: obs.PhaseCheck, Detail: "input", Dur: time.Since(t0)})
+	}
 
 	// Beam loop: C starts as {s_u}; each iteration extends every candidate
-	// by one transformation and keeps the top K (Algorithms 1–3).
-	counter := &Result{}
+	// by one transformation and keeps the top K (Algorithms 1–3). The
+	// extension phase runs under the "extend" pprof label; early checks
+	// switch to "check" around each interpreter run.
+	counter := &extendStats{}
 	beams := []*candidate{orig}
 	archive := []*candidate{orig}
 	globalSeen := map[string]bool{orig.key(): true}
+	var searchErr error
+	pprof.SetGoroutineLabels(o.ctxExtend)
 	for step := 0; step < maxSeq && len(beams) > 0; step++ {
+		if cerr := ctxCause(ctx); cerr != nil {
+			searchErr = cerr
+			o.emit(obs.Event{Kind: obs.EvCanceled, Phase: obs.PhaseExtend, Step: step + 1, Err: cerr.Error()})
+			break
+		}
+		stepStart := time.Now()
 		var next []*candidate
 		if cfg.Workers > 1 && len(beams) > 1 {
-			next = st.extendAllParallel(sess, beams, globalSeen, &searchTimings, counter)
+			next = st.extendAllParallel(ctx, o, sess, beams, globalSeen, &searchTimings, counter)
 		} else {
 			seen := newSeenSet(globalSeen)
 			for _, cand := range beams {
-				next = st.extendOne(sess, next, cand, seen, &searchTimings, counter)
+				next = st.extendOne(ctx, o, sess, next, cand, seen, &searchTimings, counter)
 			}
 		}
 		for _, c := range next {
@@ -205,13 +255,26 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 		// a strict constraint that every deeper candidate violates.
 		archive = append(archive, next...)
 		beams = selectBeams(next, cfg.BeamSize)
+		gs.beamsPruned += len(next) - len(beams)
+		if o.enabled() {
+			o.emit(obs.Event{Kind: obs.EvStepDone, Phase: obs.PhaseExtend, Step: step + 1, N: len(next), Dur: time.Since(stepStart)})
+			o.emitCacheDelta(sess, step+1)
+		}
 	}
-	searchTimings.CheckIfExecutes = counter.Timings.CheckIfExecutes
-	execChecks += counter.ExecChecks
+	pprof.SetGoroutineLabels(ctx)
+	searchTimings.CheckIfExecutes = counter.CheckTime
+	gs.execChecks += counter.ExecChecks
+	gs.admitted += counter.Admitted
+	gs.prunedChecks += counter.Pruned
 
 	// VerifyAllConstraints per grid cell, sharing candidate outputs and
-	// downstream-model accuracies across cells.
+	// downstream-model accuracies across cells. A cancellation mid-search
+	// still verifies the truncated archive (each cell falls back to the
+	// input script the moment the context check inside verifyWith trips),
+	// so the caller receives a usable partial grid alongside the error.
+	pprof.SetGoroutineLabels(o.ctxVerify)
 	cache := newVerifyCache(origRun.Main)
+	searchChecks := gs.execChecks
 	results := make([][]*Result, len(seqs))
 	for si, seq := range seqs {
 		results[si] = make([]*Result, len(constraints))
@@ -222,9 +285,14 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 			}
 		}
 		for ci, constraint := range constraints {
-			res := &Result{REBefore: orig.re, Timings: searchTimings, ExecChecks: execChecks}
+			res := &Result{REBefore: orig.re, Timings: searchTimings, ExecChecks: searchChecks}
+			if o.enabled() {
+				o.emit(obs.Event{Kind: obs.EvVerifyStart, Phase: obs.PhaseVerify, N: len(eligible)})
+			}
 			t2 := time.Now()
-			best := st.verifyWith(sess, eligible, orig, constraint, cache, res)
+			best, examined := st.verifyWith(ctx, o, sess, eligible, orig, constraint, cache, res)
+			gs.verified += examined
+			gs.execChecks += res.ExecChecks - searchChecks
 			res.Timings.VerifyConstraints = time.Since(t2)
 			res.Output = dag.ToScript(best.lines)
 			res.REAfter = best.re
@@ -232,18 +300,52 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 			res.Applied = best.applied
 			res.Timings.Total = time.Since(start)
 			results[si][ci] = res
-		}
-	}
-	if sess != nil {
-		// Every cell reports the whole call's cache effectiveness.
-		stats := sess.Stats()
-		for _, row := range results {
-			for _, res := range row {
-				res.CacheStats = stats
+			if o.enabled() {
+				o.emit(obs.Event{Kind: obs.EvVerifyDone, Phase: obs.PhaseVerify, N: examined, Dur: res.Timings.VerifyConstraints})
 			}
 		}
 	}
-	return results, nil
+	pprof.SetGoroutineLabels(ctx)
+	if searchErr == nil {
+		if cerr := ctxCause(ctx); cerr != nil {
+			searchErr = cerr
+			o.emit(obs.Event{Kind: obs.EvCanceled, Phase: obs.PhaseVerify, Err: cerr.Error()})
+		}
+	}
+	gs.canceled = searchErr != nil
+
+	var cacheStats interp.CacheStats
+	if sess != nil {
+		// Every cell reports the whole call's cache effectiveness.
+		cacheStats = sess.Stats()
+		for _, row := range results {
+			for _, res := range row {
+				res.CacheStats = cacheStats
+			}
+		}
+	}
+	last := &Result{Timings: searchTimings}
+	if len(seqs) > 0 && len(constraints) > 0 {
+		last = results[len(seqs)-1][len(constraints)-1]
+	}
+	o.finalize(last, cacheStats, gs)
+	if o.enabled() {
+		o.emit(obs.Event{Kind: obs.EvSearchDone, Phase: obs.PhaseVerify, Dur: last.Timings.Total,
+			Detail: fmt.Sprintf("improvement=%.1f%%", last.ImprovementPct)})
+	}
+	return results, searchErr
+}
+
+// extendStats accumulates the extension phase's accounting across beams
+// (and, in the parallel path, across workers).
+type extendStats struct {
+	// CheckTime is the wall clock spent in early execution checks
+	// (accumulated across workers, so it can exceed elapsed time).
+	CheckTime time.Duration
+	// ExecChecks counts interpreter runs.
+	ExecChecks int
+	// Admitted and Pruned count candidates that passed/failed admission.
+	Admitted, Pruned int
 }
 
 func less(a, b *candidate) bool {
@@ -318,8 +420,9 @@ func selectBeams(next []*candidate, k int) []*candidate {
 // top-K, verifying the execution constraint first when early checking is on.
 // extendOne runs GetSteps + (diverse) beam extension for one parent beam,
 // appending admitted candidates to next.
-func (st *Standardizer) extendOne(sess *interp.SessionCache, next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *Result) []*candidate {
+func (st *Standardizer) extendOne(ctx context.Context, o *obsState, sess *interp.SessionCache, next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *extendStats) []*candidate {
 	cfg := st.Config
+	before := len(next)
 	t0 := time.Now()
 	steps := getStepsOpt(cand, st.Vocab, !cfg.DisableLookahead)
 	timings.GetSteps += time.Since(t0)
@@ -332,12 +435,15 @@ func (st *Standardizer) extendOne(sess *interp.SessionCache, next []*candidate, 
 			per = 1
 		}
 		for _, cl := range clusters {
-			next = st.extendBeams(sess, next, cand, cl, per, seen, counter)
+			next = st.extendBeams(ctx, o, sess, next, cand, cl, per, seen, counter)
 		}
 	} else {
-		next = st.extendBeams(sess, next, cand, steps, cfg.BeamSize, seen, counter)
+		next = st.extendBeams(ctx, o, sess, next, cand, steps, cfg.BeamSize, seen, counter)
 	}
 	timings.GetTopKBeams += time.Since(t1)
+	if o.enabled() {
+		o.emit(obs.Event{Kind: obs.EvBeamExtended, Phase: obs.PhaseExtend, N: len(next) - before, Dur: time.Since(t0)})
+	}
 	return next
 }
 
@@ -346,11 +452,11 @@ func (st *Standardizer) extendOne(sess *interp.SessionCache, next []*candidate, 
 // candidates admitted in earlier steps (the shared base set) plus its own
 // local admissions; results merge in parent order with a final cross-beam
 // dedup, so the outcome is deterministic for a fixed configuration.
-func (st *Standardizer) extendAllParallel(sess *interp.SessionCache, beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *Result) []*candidate {
+func (st *Standardizer) extendAllParallel(ctx context.Context, o *obsState, sess *interp.SessionCache, beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *extendStats) []*candidate {
 	n := len(beams)
 	results := make([][]*candidate, n)
 	perTimings := make([]Timings, n)
-	perCounter := make([]Result, n)
+	perCounter := make([]extendStats, n)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, st.Config.Workers)
 	for i, cand := range beams {
@@ -359,8 +465,9 @@ func (st *Standardizer) extendAllParallel(sess *interp.SessionCache, beams []*ca
 		go func(i int, cand *candidate) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			pprof.SetGoroutineLabels(o.ctxExtend)
 			seen := newSeenSet(globalSeen)
-			results[i] = st.extendOne(sess, nil, cand, seen, &perTimings[i], &perCounter[i])
+			results[i] = st.extendOne(ctx, o, sess, nil, cand, seen, &perTimings[i], &perCounter[i])
 		}(i, cand)
 	}
 	wg.Wait()
@@ -379,8 +486,10 @@ func (st *Standardizer) extendAllParallel(sess *interp.SessionCache, beams []*ca
 		// sum exactly.
 		timings.GetSteps += perTimings[i].GetSteps
 		timings.GetTopKBeams += perTimings[i].GetTopKBeams
-		counter.Timings.CheckIfExecutes += perCounter[i].Timings.CheckIfExecutes
+		counter.CheckTime += perCounter[i].CheckTime
 		counter.ExecChecks += perCounter[i].ExecChecks
+		counter.Admitted += perCounter[i].Admitted
+		counter.Pruned += perCounter[i].Pruned
 	}
 	return next
 }
@@ -401,10 +510,15 @@ func (s *seenSet) has(key string) bool { return s.base[key] || s.local[key] }
 
 func (s *seenSet) add(key string) { s.local[key] = true }
 
-func (st *Standardizer) extendBeams(sess *interp.SessionCache, acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *Result) []*candidate {
+func (st *Standardizer) extendBeams(ctx context.Context, o *obsState, sess *interp.SessionCache, acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *extendStats) []*candidate {
 	admitted := 0
 	for _, tr := range steps {
 		if admitted >= k {
+			break
+		}
+		// A canceled context makes every early check fail; stop examining
+		// candidates instead of pruning the rest of the ranked list.
+		if ctx.Err() != nil {
 			break
 		}
 		nc := cand.apply(tr, st.Vocab)
@@ -414,17 +528,28 @@ func (st *Standardizer) extendBeams(sess *interp.SessionCache, acc []*candidate,
 		}
 		if st.Config.EarlyCheck {
 			t0 := time.Now()
-			err := st.checkScript(sess, dag.ToScript(nc.lines))
-			res.Timings.CheckIfExecutes += time.Since(t0)
+			pprof.SetGoroutineLabels(o.ctxCheck)
+			err := st.checkScript(o.ctxCheck, sess, dag.ToScript(nc.lines))
+			pprof.SetGoroutineLabels(o.ctxExtend)
+			dur := time.Since(t0)
+			res.CheckTime += dur
 			res.ExecChecks++
 			if err != nil {
+				res.Pruned++
+				if o.enabled() && ctx.Err() == nil {
+					o.emit(obs.Event{Kind: obs.EvCandidatePruned, Phase: obs.PhaseCheck, Detail: tr.String(), Dur: dur, Err: err.Error()})
+				}
 				continue
 			}
 			nc.checked = true
+			if o.enabled() {
+				o.emit(obs.Event{Kind: obs.EvCandidateExecuted, Phase: obs.PhaseCheck, Detail: tr.String(), Dur: dur})
+			}
 		}
 		seen.add(key)
 		acc = append(acc, nc)
 		admitted++
+		res.Admitted++
 	}
 	return acc
 }
@@ -512,8 +637,10 @@ func (vc *verifyCache) satisfied(constraint intent.Constraint, cand *candidate, 
 // verifyWith implements VerifyAllConstraints: candidates are sorted by RE
 // and the best executable, intent-preserving one wins; the original script
 // is the fallback (improvement 0), matching the paper's guarantee that LS
-// never worsens standardness.
-func (st *Standardizer) verifyWith(sess *interp.SessionCache, archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) *candidate {
+// never worsens standardness. The context is polled per candidate, so a
+// canceled verification falls back to the input promptly. Returns the
+// winning candidate and how many candidates were examined.
+func (st *Standardizer) verifyWith(ctx context.Context, o *obsState, sess *interp.SessionCache, archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) (*candidate, int) {
 	sorted := append([]*candidate(nil), archive...)
 	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
 	checked := 0
@@ -524,17 +651,29 @@ func (st *Standardizer) verifyWith(sess *interp.SessionCache, archive []*candida
 		if st.Config.VerifyLimit > 0 && checked >= st.Config.VerifyLimit {
 			break
 		}
+		if ctx.Err() != nil {
+			break // canceled: fall back to the input without poisoning the cache
+		}
 		checked++
 		out, cached := cache.out[cand]
 		if !cached {
-			run, err := st.runScript(sess, dag.ToScript(cand.lines))
+			t0 := time.Now()
+			run, err := st.runScript(o.ctxVerify, sess, dag.ToScript(cand.lines))
 			res.ExecChecks++
-			if err != nil || run.Main == nil {
+			if err != nil || run == nil || run.Main == nil {
+				if ctx.Err() != nil {
+					// A cancellation is not an execution failure: leave the
+					// candidate un-cached so a later cell could still run it.
+					break
+				}
 				cache.out[cand] = nil
 				continue
 			}
 			out = run.Main
 			cache.out[cand] = out
+			if o.enabled() {
+				o.emit(obs.Event{Kind: obs.EvCandidateExecuted, Phase: obs.PhaseVerify, Detail: "verify", Dur: time.Since(t0)})
+			}
 		}
 		if out == nil {
 			continue
@@ -544,10 +683,13 @@ func (st *Standardizer) verifyWith(sess *interp.SessionCache, archive []*candida
 			continue
 		}
 		res.IntentValue = val
-		return cand
+		if o.enabled() {
+			o.emit(obs.Event{Kind: obs.EvVerifyPass, Phase: obs.PhaseVerify, Detail: fmt.Sprintf("intent=%.3f", val)})
+		}
+		return cand, checked
 	}
 	res.IntentValue = identityIntent(constraint)
-	return orig
+	return orig, checked
 }
 
 // identityIntent is the intent value of returning the input unchanged.

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -132,11 +133,21 @@ func SampleSources(sources map[string]*frame.Frame, maxRows int, seed int64) map
 // Run executes the script against the named data sources
 // (file name → frame, standing in for the files read by pd.read_csv).
 func Run(s *script.Script, sources map[string]*frame.Frame, opts Options) (*Result, error) {
+	return RunContext(context.Background(), s, sources, opts)
+}
+
+// RunContext is Run with statement-granularity cancellation: the context is
+// checked before every statement, so a deadline or cancellation aborts the
+// run promptly with an error wrapping ctx.Err().
+func RunContext(ctx context.Context, s *script.Script, sources map[string]*frame.Frame, opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
 	env := newEnv(SampleSources(sources, opts.MaxRows, opts.Seed), opts.Seed)
 	for i, st := range s.Stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interp: canceled before line %d (%s): %w", i+1, st.Source(), err)
+		}
 		if err := env.exec(st); err != nil {
 			return nil, fmt.Errorf("interp: line %d (%s): %w", i+1, st.Source(), err)
 		}
@@ -148,6 +159,13 @@ func Run(s *script.Script, sources map[string]*frame.Frame, opts Options) (*Resu
 // (the paper's execution constraint).
 func CheckExecutes(s *script.Script, sources map[string]*frame.Frame, opts Options) error {
 	_, err := Run(s, sources, opts)
+	return err
+}
+
+// CheckExecutesContext is CheckExecutes with statement-granularity
+// cancellation.
+func CheckExecutesContext(ctx context.Context, s *script.Script, sources map[string]*frame.Frame, opts Options) error {
+	_, err := RunContext(ctx, s, sources, opts)
 	return err
 }
 

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -89,8 +90,21 @@ func NewSessionCache(sources map[string]*frame.Frame, opts Options, maxNodes int
 // Run executes the script, reusing every previously executed prefix.
 // The result is identical to interp.Run with the same sources and options.
 func (c *SessionCache) Run(s *script.Script) (*Result, error) {
+	return c.RunContext(context.Background(), s)
+}
+
+// RunContext is Run with statement-granularity cancellation: the context is
+// checked before every statement, so a deadline aborts mid-candidate. A
+// canceled run returns an error wrapping ctx.Err() and never writes a
+// cancellation into the trie — every cached prefix node always holds a
+// fully executed (or genuinely failed) statement, so the cache stays
+// consistent and reusable after an abort.
+func (c *SessionCache) RunContext(ctx context.Context, s *script.Script) (*Result, error) {
 	node := c.root
 	for i, st := range s.Stmts {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("interp: canceled before line %d (%s): %w", i+1, st.Source(), err)
+		}
 		next, err := c.step(node, i, st)
 		if err != nil {
 			return nil, err
@@ -108,6 +122,12 @@ func (c *SessionCache) Run(s *script.Script) (*Result, error) {
 // constraint), through the cache.
 func (c *SessionCache) Check(s *script.Script) error {
 	_, err := c.Run(s)
+	return err
+}
+
+// CheckContext is Check with statement-granularity cancellation.
+func (c *SessionCache) CheckContext(ctx context.Context, s *script.Script) error {
+	_, err := c.RunContext(ctx, s)
 	return err
 }
 

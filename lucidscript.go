@@ -21,6 +21,7 @@
 package lucidscript
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"lucidscript/internal/entropy"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/intent"
+	"lucidscript/internal/obs"
 	"lucidscript/internal/script"
 )
 
@@ -72,21 +74,34 @@ const (
 	IntentFairness IntentMeasure = "fairness"
 )
 
+// TauZero requests a literal zero intent threshold. In Options, Tau = 0 is
+// the zero value and resolves to the measure's default (see Options.Tau);
+// TauZero makes an explicit zero expressible — e.g. an unconstrained
+// Jaccard search, or a zero-tolerance model-accuracy constraint.
+const TauZero float64 = -1
+
 // Options configures a System. The zero value selects the paper's default
-// configuration (seq=16, K=3, diversity and early checking on, τ_J=0.9).
+// configuration (seq=16, K=3, diversity and early checking on, τ_J=0.9):
+// every zero-valued field resolves to the default documented on it, and
+// DefaultOptions returns those resolved values explicitly. Use Validate to
+// check a configuration without building a System.
 type Options struct {
-	// SeqLength is the maximum number of transformations (default 16).
+	// SeqLength is the maximum number of transformations. 0 resolves to
+	// the default 16.
 	SeqLength int
-	// BeamSize is the beam width K (default 3).
+	// BeamSize is the beam width K. 0 resolves to the default 3.
 	BeamSize int
 	// DisableDiversity turns off K-means transformation diversity.
 	DisableDiversity bool
 	// LateCheck defers execution checking to the end of the search.
 	LateCheck bool
-	// Measure selects the intent measure (default IntentJaccard).
+	// Measure selects the intent measure. "" resolves to IntentJaccard.
 	Measure IntentMeasure
-	// Tau is the intent threshold: minimum Jaccard in [0,1] (default 0.9)
-	// or maximum model-accuracy change in percent (default 1).
+	// Tau is the intent threshold: minimum Jaccard in [0,1], maximum
+	// model-accuracy change in percent, maximum EMD, or maximum fairness
+	// gap change, per Measure. 0 resolves to the measure's default (0.9
+	// Jaccard/row-Jaccard, 1% model, 0.05 EMD/fairness); use TauZero to
+	// request a literal zero threshold.
 	Tau float64
 	// TargetColumn names the label column for IntentModel and IntentFairness.
 	TargetColumn string
@@ -95,25 +110,276 @@ type Options struct {
 	// Auto derives SeqLength and BeamSize from corpus statistics using the
 	// paper's Table 2 instead of the defaults.
 	Auto bool
-	// Seed drives sampling determinism (default 1).
+	// Seed drives sampling determinism. 0 resolves to the default 1.
 	Seed int64
-	// MaxRows caps the rows used during execution checks (default 50000).
+	// MaxRows caps the rows used during execution checks. 0 resolves to
+	// the default 50000; a negative value disables sampling entirely.
 	MaxRows int
 	// Weights optionally weights each corpus script (parallel to the corpus
 	// slice) in the standardness distribution, e.g. by Kaggle vote counts.
 	Weights []int
-	// Workers > 1 extends search beams concurrently. Deterministic for a
-	// fixed configuration; may differ slightly from the sequential search
-	// (per-beam candidate de-duplication).
+	// Workers > 1 extends search beams concurrently. 0 resolves to the
+	// default 1 (sequential). Deterministic for a fixed configuration; may
+	// differ slightly from the sequential search (per-beam candidate
+	// de-duplication).
 	Workers int
 	// DisableExecCache turns off the execution-prefix cache that shares
 	// interpreter work across beam-search candidates. Results are identical
 	// either way; the cache only changes speed.
 	DisableExecCache bool
+	// Timeout bounds each Standardize/ParetoFrontier call; 0 means no
+	// limit. An expired timeout aborts the search mid-candidate and
+	// returns ErrDeadlineExceeded alongside a partial Result.
+	Timeout time.Duration
+	// Tracer receives structured search events (phase timings, beam
+	// extensions, candidate executions/prunings, verification passes,
+	// cache traffic). Nil disables tracing with zero overhead.
+	// Implementations must be safe for concurrent use when Workers > 1.
+	Tracer Tracer
+	// Metrics, when non-nil, accumulates counters (statements executed,
+	// cache hits, beams pruned, verifications, per-phase wall clock)
+	// across every call on the System. Use NewMetrics for a private
+	// registry or DefaultMetrics for the process-wide expvar-published one.
+	Metrics *Metrics
 }
 
-// ErrEmptyCorpus is returned when no corpus scripts are supplied.
-var ErrEmptyCorpus = errors.New("lucidscript: corpus is empty")
+// DefaultOptions returns the paper's default configuration with every
+// derived field resolved to its explicit value, so callers can tweak one
+// knob without re-deriving the rest.
+func DefaultOptions() Options {
+	return Options{
+		SeqLength: 16,
+		BeamSize:  3,
+		Measure:   IntentJaccard,
+		Tau:       0.9,
+		Seed:      1,
+		MaxRows:   50000,
+		Workers:   1,
+	}
+}
+
+// defaultTau is the per-measure intent-threshold default.
+func defaultTau(m IntentMeasure) float64 {
+	switch m {
+	case IntentModel:
+		return 1
+	case IntentEMD, IntentFairness:
+		return 0.05
+	default:
+		return 0.9
+	}
+}
+
+// resolved returns the options with every zero-valued field replaced by
+// its documented default and TauZero mapped to a literal 0.
+func (o Options) resolved() Options {
+	def := DefaultOptions()
+	if o.SeqLength == 0 {
+		o.SeqLength = def.SeqLength
+	}
+	if o.BeamSize == 0 {
+		o.BeamSize = def.BeamSize
+	}
+	if o.Measure == "" {
+		o.Measure = IntentJaccard
+	}
+	switch o.Tau {
+	case TauZero:
+		o.Tau = 0
+	case 0:
+		o.Tau = defaultTau(o.Measure)
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	switch {
+	case o.MaxRows == 0:
+		o.MaxRows = def.MaxRows
+	case o.MaxRows < 0:
+		o.MaxRows = 0 // core interprets 0 as "no sampling"
+	}
+	if o.Workers == 0 {
+		o.Workers = def.Workers
+	}
+	return o
+}
+
+// Validate reports whether the options describe a buildable configuration,
+// returning a typed error (ErrUnknownMeasure, ErrMissingTargetColumn,
+// ErrMissingProtectedColumn, ErrInvalidThreshold) that works with
+// errors.Is. Zero-valued fields are valid — they resolve to defaults.
+func (o Options) Validate() error {
+	switch o.Measure {
+	case "", IntentJaccard, IntentRowJaccard, IntentEMD:
+	case IntentModel:
+		if o.TargetColumn == "" {
+			return fmt.Errorf("%w: IntentModel requires TargetColumn", ErrMissingTargetColumn)
+		}
+	case IntentFairness:
+		if o.TargetColumn == "" {
+			return fmt.Errorf("%w: IntentFairness requires TargetColumn", ErrMissingTargetColumn)
+		}
+		if o.ProtectedColumn == "" {
+			return fmt.Errorf("%w: IntentFairness requires ProtectedColumn", ErrMissingProtectedColumn)
+		}
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownMeasure, o.Measure)
+	}
+	if o.Tau < 0 && o.Tau != TauZero {
+		return fmt.Errorf("%w: Tau = %v (negative thresholds are only expressible as TauZero)", ErrInvalidThreshold, o.Tau)
+	}
+	switch o.Measure {
+	case "", IntentJaccard, IntentRowJaccard:
+		if o.Tau > 1 {
+			return fmt.Errorf("%w: Jaccard Tau = %v exceeds 1", ErrInvalidThreshold, o.Tau)
+		}
+	}
+	if o.SeqLength < 0 || o.BeamSize < 0 || o.Workers < 0 {
+		return fmt.Errorf("%w: SeqLength/BeamSize/Workers must not be negative", ErrInvalidThreshold)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("%w: Timeout must not be negative", ErrInvalidThreshold)
+	}
+	return nil
+}
+
+// constraint maps resolved options onto the core intent constraint.
+// Call only on resolved() options.
+func (o Options) constraint() intent.Constraint {
+	switch o.Measure {
+	case IntentRowJaccard:
+		return intent.Constraint{Measure: intent.MeasureRowJaccard, Tau: o.Tau}
+	case IntentEMD:
+		return intent.Constraint{Measure: intent.MeasureEMD, Tau: o.Tau}
+	case IntentModel:
+		return intent.Constraint{
+			Measure: intent.MeasureModel,
+			Tau:     o.Tau,
+			Model:   intent.ModelConfig{Target: o.TargetColumn},
+		}
+	case IntentFairness:
+		return intent.Constraint{
+			Measure: intent.MeasureFairness,
+			Tau:     o.Tau,
+			Model:   intent.ModelConfig{Target: o.TargetColumn, Protected: o.ProtectedColumn},
+		}
+	default:
+		return intent.Constraint{Measure: intent.MeasureJaccard, Tau: o.Tau}
+	}
+}
+
+// The typed errors returned by NewSystem, LoadSystem, Validate, and the
+// standardization entry points; all work with errors.Is. ErrCanceled and
+// ErrDeadlineExceeded additionally match context.Canceled and
+// context.DeadlineExceeded respectively.
+var (
+	// ErrEmptyCorpus is returned when no corpus scripts are supplied.
+	ErrEmptyCorpus = errors.New("lucidscript: corpus is empty")
+	// ErrMissingTargetColumn is returned when a model-based measure lacks
+	// Options.TargetColumn.
+	ErrMissingTargetColumn = errors.New("lucidscript: missing target column")
+	// ErrMissingProtectedColumn is returned when IntentFairness lacks
+	// Options.ProtectedColumn.
+	ErrMissingProtectedColumn = errors.New("lucidscript: missing protected column")
+	// ErrUnknownMeasure is returned for an unrecognized Options.Measure.
+	ErrUnknownMeasure = errors.New("lucidscript: unknown intent measure")
+	// ErrInvalidThreshold is returned for an out-of-range Tau or other
+	// out-of-range numeric option.
+	ErrInvalidThreshold = errors.New("lucidscript: invalid option value")
+	// ErrCanceled reports a standardization stopped by context
+	// cancellation; a partial Result accompanies it.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadlineExceeded reports a standardization stopped by a context
+	// deadline or Options.Timeout; a partial Result accompanies it.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+)
+
+// Tracer receives structured search events during standardization. See
+// Options.Tracer; NewWriterTracer and NewCollectTracer are the built-in
+// implementations. Implementations must be safe for concurrent use.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured search event: what happened (Kind), when on
+// the monotonic clock (Elapsed), in which phase, and the event's payload.
+type TraceEvent = obs.Event
+
+// TraceEventKind identifies a TraceEvent's type.
+type TraceEventKind = obs.EventKind
+
+// The trace event kinds, re-exported for event filtering.
+const (
+	TraceCurateDone        = obs.EvCurateDone
+	TraceSearchStart       = obs.EvSearchStart
+	TraceCandidateExecuted = obs.EvCandidateExecuted
+	TraceCandidatePruned   = obs.EvCandidatePruned
+	TraceBeamExtended      = obs.EvBeamExtended
+	TraceStepDone          = obs.EvStepDone
+	TraceCacheReport       = obs.EvCacheReport
+	TraceVerifyStart       = obs.EvVerifyStart
+	TraceVerifyPass        = obs.EvVerifyPass
+	TraceVerifyDone        = obs.EvVerifyDone
+	TraceSearchDone        = obs.EvSearchDone
+	TraceCanceled          = obs.EvCanceled
+)
+
+// NewWriterTracer returns a tracer that writes one line per event to w,
+// serialized by an internal mutex (suitable for stderr progress streams).
+func NewWriterTracer(w io.Writer) Tracer { return obs.NewWriterTracer(w) }
+
+// CollectTracer accumulates events in memory for programmatic inspection.
+type CollectTracer = obs.CollectTracer
+
+// NewCollectTracer returns an empty in-memory tracer.
+func NewCollectTracer() *CollectTracer { return obs.NewCollectTracer() }
+
+// Metrics is an atomic registry of cumulative counters maintained by the
+// search (see Options.Metrics). Dump it with WritePrometheus or expose it
+// on the expvar page with Publish.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty private metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// DefaultMetrics returns the process-wide registry, published via expvar
+// under "lucidscript" on first use.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// The metric names maintained by the search, re-exported for
+// Metrics.Value lookups. Prometheus dumps prefix each with "lucidscript_".
+const (
+	MetricStatementsExecuted = obs.MStatementsExecuted
+	MetricStatementsSkipped  = obs.MStatementsSkipped
+	MetricCacheHits          = obs.MCacheHits
+	MetricCacheMisses        = obs.MCacheMisses
+	MetricCacheEvictions     = obs.MCacheEvictions
+	MetricExecChecks         = obs.MExecChecks
+	MetricCandidatesAdmitted = obs.MCandidatesAdmitted
+	MetricCandidatesPruned   = obs.MCandidatesPruned
+	MetricBeamsPruned        = obs.MBeamsPruned
+	MetricVerifications      = obs.MVerifications
+	MetricSearches           = obs.MSearches
+	MetricSearchesCanceled   = obs.MSearchesCanceled
+)
+
+// Timings is the per-phase wall-clock breakdown of one standardization
+// (the paper's Figure 7 decomposition). In parallel searches the
+// per-phase entries accumulate CPU time across workers, so their sum can
+// exceed Total.
+type Timings struct {
+	// CurateSearchSpace is the offline corpus-curation time (paid once per
+	// System and reported on every Result).
+	CurateSearchSpace time.Duration
+	// GetSteps ranks candidate transformations.
+	GetSteps time.Duration
+	// GetTopKBeams extends and selects beams.
+	GetTopKBeams time.Duration
+	// CheckIfExecutes verifies the execution constraint.
+	CheckIfExecutes time.Duration
+	// VerifyConstraints verifies the user-intent constraint.
+	VerifyConstraints time.Duration
+	// Total is the end-to-end wall clock of the call.
+	Total time.Duration
+}
 
 // ExecCacheStats reports the execution-prefix cache's effectiveness for
 // one standardization (all zeros when the cache is disabled).
@@ -147,100 +413,83 @@ type Result struct {
 	Explanations []string
 	// ExecCache reports the execution-prefix cache's effectiveness.
 	ExecCache ExecCacheStats
+	// Timings is the per-phase runtime breakdown of this standardization.
+	Timings Timings
 }
 
 // System is a standardizer bound to one corpus and dataset; it is safe to
 // reuse for many input scripts (the search space is curated once).
 type System struct {
-	std *core.Standardizer
+	std     *core.Standardizer
+	timeout time.Duration
 }
 
-// NewSystem curates the search space from the corpus and dataset.
+// NewSystem curates the search space from the corpus and dataset. Options
+// are validated first (see Options.Validate for the typed errors) and
+// zero-valued fields resolve to the documented defaults.
 func NewSystem(corpus []*Script, sources map[string]*Frame, opts Options) (*System, error) {
 	if len(corpus) == 0 {
 		return nil, ErrEmptyCorpus
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.resolved()
 	cfg := core.DefaultConfig()
-	if opts.SeqLength > 0 {
-		cfg.SeqLength = opts.SeqLength
-	}
-	if opts.BeamSize > 0 {
-		cfg.BeamSize = opts.BeamSize
-	}
+	cfg.SeqLength = opts.SeqLength
+	cfg.BeamSize = opts.BeamSize
 	cfg.Diversity = !opts.DisableDiversity
 	cfg.EarlyCheck = !opts.LateCheck
-	if opts.Seed != 0 {
-		cfg.Seed = opts.Seed
-	}
-	if opts.MaxRows > 0 {
-		cfg.MaxRows = opts.MaxRows
-	}
-	if opts.Workers > 0 {
-		cfg.Workers = opts.Workers
-	}
+	cfg.Seed = opts.Seed
+	cfg.MaxRows = opts.MaxRows
+	cfg.Workers = opts.Workers
 	cfg.ExecCache = !opts.DisableExecCache
-	switch opts.Measure {
-	case "", IntentJaccard:
-		tau := opts.Tau
-		if tau == 0 {
-			tau = 0.9
-		}
-		cfg.Constraint = intent.Constraint{Measure: intent.MeasureJaccard, Tau: tau}
-	case IntentRowJaccard:
-		tau := opts.Tau
-		if tau == 0 {
-			tau = 0.9
-		}
-		cfg.Constraint = intent.Constraint{Measure: intent.MeasureRowJaccard, Tau: tau}
-	case IntentEMD:
-		tau := opts.Tau
-		if tau == 0 {
-			tau = 0.05
-		}
-		cfg.Constraint = intent.Constraint{Measure: intent.MeasureEMD, Tau: tau}
-	case IntentModel:
-		if opts.TargetColumn == "" {
-			return nil, fmt.Errorf("lucidscript: IntentModel requires TargetColumn")
-		}
-		tau := opts.Tau
-		if tau == 0 {
-			tau = 1
-		}
-		cfg.Constraint = intent.Constraint{
-			Measure: intent.MeasureModel,
-			Tau:     tau,
-			Model:   intent.ModelConfig{Target: opts.TargetColumn},
-		}
-	case IntentFairness:
-		if opts.TargetColumn == "" || opts.ProtectedColumn == "" {
-			return nil, fmt.Errorf("lucidscript: IntentFairness requires TargetColumn and ProtectedColumn")
-		}
-		tau := opts.Tau
-		if tau == 0 {
-			tau = 0.05
-		}
-		cfg.Constraint = intent.Constraint{
-			Measure: intent.MeasureFairness,
-			Tau:     tau,
-			Model:   intent.ModelConfig{Target: opts.TargetColumn, Protected: opts.ProtectedColumn},
-		}
-	default:
-		return nil, fmt.Errorf("lucidscript: unknown intent measure %q", opts.Measure)
-	}
+	cfg.Tracer = opts.Tracer
+	cfg.Metrics = opts.Metrics
+	cfg.Constraint = opts.constraint()
 	std := core.NewWeighted(corpus, opts.Weights, sources, cfg)
 	if opts.Auto {
 		seq, k := core.AutoConfig(len(corpus), std.Vocab.NumUniqueEdges())
 		std.Config.SeqLength, std.Config.BeamSize = seq, k
 	}
-	return &System{std: std}, nil
+	return &System{std: std, timeout: opts.Timeout}, nil
 }
 
-// Standardize returns the standardized version of the input script.
+// Standardize returns the standardized version of the input script. It is
+// StandardizeContext with a background context; Options.Timeout still
+// applies.
 func (s *System) Standardize(input *Script) (*Result, error) {
-	res, err := s.std.Standardize(input)
-	if err != nil {
+	return s.StandardizeContext(context.Background(), input)
+}
+
+// StandardizeContext standardizes the input under a context. Cancellation
+// is honored at statement granularity inside the interpreter and between
+// beam extensions, so a deadline aborts mid-candidate; Options.Timeout,
+// when set, bounds the call on top of ctx. On cancellation it returns
+// ErrCanceled or ErrDeadlineExceeded (matching the equivalent context
+// errors under errors.Is) together with a partial, non-nil Result — the
+// best verified candidate found so far, the input script if verification
+// had not begun, or nil if the input itself never finished executing.
+func (s *System) StandardizeContext(ctx context.Context, input *Script) (*Result, error) {
+	ctx, cancel := s.searchContext(ctx)
+	defer cancel()
+	res, err := s.std.StandardizeContext(ctx, input)
+	if res == nil {
 		return nil, err
 	}
+	return s.toResult(res), err
+}
+
+// searchContext applies Options.Timeout to the caller's context.
+func (s *System) searchContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(ctx, s.timeout)
+	}
+	return ctx, func() {}
+}
+
+// toResult converts a core result into the public shape.
+func (s *System) toResult(res *core.Result) *Result {
 	out := &Result{
 		Script:         res.Output,
 		REBefore:       res.REBefore,
@@ -255,6 +504,14 @@ func (s *System) Standardize(input *Script) (*Result, error) {
 			StmtsSkipped:  res.CacheStats.StmtsSkipped,
 			EstSavedTime:  res.CacheStats.EstSavedTime(),
 		},
+		Timings: Timings{
+			CurateSearchSpace: res.Timings.CurateSearchSpace,
+			GetSteps:          res.Timings.GetSteps,
+			GetTopKBeams:      res.Timings.GetTopKBeams,
+			CheckIfExecutes:   res.Timings.CheckIfExecutes,
+			VerifyConstraints: res.Timings.VerifyConstraints,
+			Total:             res.Timings.Total,
+		},
 	}
 	for _, tr := range res.Applied {
 		out.Transformations = append(out.Transformations, tr.String())
@@ -262,7 +519,7 @@ func (s *System) Standardize(input *Script) (*Result, error) {
 	for _, ex := range s.std.ExplainResult(res) {
 		out.Explanations = append(out.Explanations, ex.String())
 	}
-	return out, nil
+	return out
 }
 
 // ParetoPoint is one point of the intent-threshold / standardness
@@ -281,7 +538,18 @@ type ParetoPoint struct {
 // proposed configuration-exploration extension). Thresholds follow the
 // system's configured measure.
 func (s *System) ParetoFrontier(input *Script, taus []float64) ([]ParetoPoint, error) {
-	pts, err := s.std.ParetoFrontier(input, taus)
+	return s.ParetoFrontierContext(context.Background(), input, taus)
+}
+
+// ParetoFrontierContext is ParetoFrontier with cancellation. Unlike
+// StandardizeContext it returns no points on cancellation — a partially
+// explored trade-off curve would be misleading — so the error (ErrCanceled
+// or ErrDeadlineExceeded) comes back alone. Options.Timeout applies here
+// too.
+func (s *System) ParetoFrontierContext(ctx context.Context, input *Script, taus []float64) ([]ParetoPoint, error) {
+	ctx, cancel := s.searchContext(ctx)
+	defer cancel()
+	pts, err := s.std.ParetoFrontierContext(ctx, input, taus)
 	if err != nil {
 		return nil, err
 	}
