@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"lucidscript/internal/bench"
+	"lucidscript/internal/core"
 	"lucidscript/internal/corpusgen"
 	"lucidscript/internal/dag"
 	"lucidscript/internal/entropy"
@@ -257,6 +258,66 @@ func benchStandardizeTitanic(b *testing.B, disableCache bool) {
 func BenchmarkStandardizeExecCacheOn(b *testing.B) { benchStandardizeTitanic(b, false) }
 
 func BenchmarkStandardizeExecCacheOff(b *testing.B) { benchStandardizeTitanic(b, true) }
+
+// batchBenchJobs builds the shared fixture for the batch benchmarks: a
+// Titanic corpus plus a set of jobs sampled from it.
+func batchBenchJobs(b *testing.B) (*corpusgen.Generated, []*Script) {
+	b.Helper()
+	c, err := corpusgen.Get("Titanic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := c.Generate(corpusgen.GenOptions{Seed: 3, MinRows: 1200, NumScripts: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen, gen.Sample(6, 17)
+}
+
+// BenchmarkStandardizeBatch standardizes N jobs through one System: the
+// corpus is curated once and every job shares the execution-prefix cache.
+// Compare against BenchmarkStandardizeSequentialBaseline, which is what the
+// same N jobs cost as independent single-shot users (one NewSystem each);
+// cmd/lsbench -exp batch records the same comparison in BENCH_batch.json.
+func BenchmarkStandardizeBatch(b *testing.B) {
+	gen, jobs := batchBenchJobs(b)
+	corpus := gen.ScriptsOnly()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := core.CurateCalls()
+		sys, err := NewSystem(corpus, gen.Sources, Options{SeqLength: 6, Tau: 0.5, BatchWorkers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.StandardizeBatch(jobs); err != nil {
+			b.Fatal(err)
+		}
+		if got := core.CurateCalls() - before; got != 1 {
+			b.Fatalf("batch of %d jobs curated %d times, want exactly once", len(jobs), got)
+		}
+	}
+}
+
+// BenchmarkStandardizeSequentialBaseline is the no-batching counterpart:
+// every job builds its own System (re-curating the corpus) and runs alone.
+func BenchmarkStandardizeSequentialBaseline(b *testing.B) {
+	gen, jobs := batchBenchJobs(b)
+	corpus := gen.ScriptsOnly()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, job := range jobs {
+			sys, err := NewSystem(corpus, gen.Sources, Options{SeqLength: 6, Tau: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Standardize(job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 func BenchmarkStandardizeParallel(b *testing.B) {
 	gen, scripts := medicalFixture(b)

@@ -5,6 +5,7 @@ package lucidscript
 // workflow (run a script, standardize a script, regenerate an experiment).
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -296,6 +297,107 @@ func TestLSStdCLITimeout(t *testing.T) {
 		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
 		"-timeout", "-5s").Run(); err == nil {
 		t.Fatal("negative timeout should fail")
+	}
+}
+
+func TestLSStdCLIBatchJobs(t *testing.T) {
+	bin := buildCLIs(t)
+	dir, csv, scriptPath, corpusDir := writeFixtures(t)
+	jobsDir := filepath.Join(dir, "jobs")
+	if err := os.Mkdir(jobsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	second := `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df[df["Age"] < 45]
+`
+	if err := os.WriteFile(filepath.Join(jobsDir, "a.ls"), []byte(cliScript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobsDir, "b.ls"), []byte(second), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-jobs", filepath.Join(jobsDir, "*.ls"), "-corpus", corpusDir, "-data", csv,
+		"-tau", "0.5", "-seq", "6", "-batch-workers", "2")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("lsstd -jobs: %v\n%s", err, stderr.String())
+	}
+	src := string(out)
+	// Each job's output appears in glob order under its own header.
+	ai := strings.Index(src, "# === a.ls ===")
+	bi := strings.Index(src, "# === b.ls ===")
+	if ai < 0 || bi < 0 || bi < ai {
+		t.Fatalf("missing or misordered job headers:\n%s", src)
+	}
+	if strings.Count(src, "read_csv") != 2 {
+		t.Fatalf("want both standardized scripts in output:\n%s", src)
+	}
+	progress := stderr.String()
+	for _, want := range []string{"a.ls: RE", "b.ls: RE", "batch: 2 jobs"} {
+		if !strings.Contains(progress, want) {
+			t.Fatalf("batch summary missing %q:\n%s", want, progress)
+		}
+	}
+	// The batch output for a.ls must match the single-shot run byte for byte.
+	single, err := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-tau", "0.5", "-seq", "6").Output()
+	if err != nil {
+		t.Fatalf("single-shot lsstd: %v", err)
+	}
+	if got := src[ai+len("# === a.ls ===\n") : bi]; got != string(single) {
+		t.Fatalf("batch output diverges from single-shot:\nbatch:\n%ssingle:\n%s", got, single)
+	}
+	// A glob with no matches fails, as does combining -lint with -jobs.
+	if err := exec.Command(filepath.Join(bin, "lsstd"),
+		"-jobs", filepath.Join(jobsDir, "*.nope"), "-corpus", corpusDir, "-data", csv).Run(); err == nil {
+		t.Fatal("empty glob should fail")
+	}
+	if err := exec.Command(filepath.Join(bin, "lsstd"),
+		"-jobs", filepath.Join(jobsDir, "*.ls"), "-corpus", corpusDir, "-data", csv,
+		"-lint").Run(); err == nil {
+		t.Fatal("-lint with -jobs should fail")
+	}
+}
+
+func TestLSBenchCLIBatchJSON(t *testing.T) {
+	bin := buildCLIs(t)
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	out, err := exec.Command(filepath.Join(bin, "lsbench"),
+		"-exp", "batch", "-q", "-datasets", "Medical", "-scripts", "2",
+		"-rowscale", "0.01", "-json", jsonPath).Output()
+	if err != nil {
+		t.Fatalf("lsbench -exp batch: %v", err)
+	}
+	if !strings.Contains(string(out), "Batch standardization") {
+		t.Fatalf("batch table missing:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON record file: %v", err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("unmarshal %s: %v", jsonPath, err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d, want 1", len(records))
+	}
+	rec := records[0]
+	if rec["dataset"] != "Medical" || rec["jobs"] != float64(2) {
+		t.Fatalf("record fields: %v", rec)
+	}
+	if rec["identical"] != true {
+		t.Fatalf("batch output not identical to sequential: %v", rec)
+	}
+	for _, key := range []string{"workers", "sequential_ms", "batch_ms", "speedup", "curate_ms", "cache_hits"} {
+		if _, ok := rec[key]; !ok {
+			t.Fatalf("record missing %q: %v", key, rec)
+		}
 	}
 }
 

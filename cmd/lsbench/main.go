@@ -32,6 +32,8 @@ func main() {
 		beam        = flag.Int("beam", 0, "override beam size (0 = default 3)")
 		datasets    = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
 		execCache   = flag.String("execcache", "on", "execution-prefix cache: on or off")
+		batchWork   = flag.Int("batch-workers", 0, "worker pool size for the batch experiment (0 = GOMAXPROCS)")
+		jsonPath    = flag.String("json", "", "also write machine-readable results (batch experiment) to this JSON file")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		trace       = flag.Bool("trace", false, "stream structured search events to stderr")
 		metricsDump = flag.Bool("metrics-dump", false, "print cumulative search counters in Prometheus text format to stderr on exit")
@@ -57,6 +59,8 @@ func main() {
 		SeqLength:         *seq,
 		BeamSize:          *beam,
 		DisableExecCache:  *execCache == "off",
+		BatchWorkers:      *batchWork,
+		JSONPath:          *jsonPath,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

@@ -9,6 +9,13 @@
 //	      [-seq 16] [-beam 3] [-auto] \
 //	      [-timeout 30s] [-trace] [-metrics-dump]
 //
+// Batch mode standardizes every script matching a glob concurrently over
+// one shared curated corpus, printing each output under a `# === name ===`
+// header:
+//
+//	lsstd -jobs 'prep/*.ls' -corpus scripts_dir -data diabetes.csv \
+//	      [-batch-workers 8]
+//
 // A -timeout (or Ctrl-C) aborts the search and prints the best result
 // found so far; -trace streams structured search events to stderr and
 // -metrics-dump prints cumulative counters in Prometheus text format.
@@ -44,7 +51,9 @@ func (s *stringList) Set(v string) error {
 
 func main() {
 	var (
-		scriptPath  = flag.String("script", "", "path to the input LSL script (required)")
+		scriptPath  = flag.String("script", "", "path to the input LSL script (required unless -jobs)")
+		jobsGlob    = flag.String("jobs", "", "glob of input scripts to standardize as one concurrent batch")
+		batchWork   = flag.Int("batch-workers", 0, "worker pool size for -jobs (0 = GOMAXPROCS)")
 		corpusDir   = flag.String("corpus", "", "directory of corpus scripts (required unless -load-space)")
 		saveSpace   = flag.String("save-space", "", "write the curated search space to this file")
 		loadSpace   = flag.String("load-space", "", "load a search space written by -save-space instead of curating -corpus")
@@ -66,8 +75,12 @@ func main() {
 	flag.Var(&dataPaths, "data", "CSV data file (repeatable)")
 	flag.Parse()
 
-	if *scriptPath == "" || (*corpusDir == "" && *loadSpace == "") || len(dataPaths) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lsstd -script prep.ls (-corpus dir | -load-space file) -data file.csv")
+	if (*scriptPath == "" && *jobsGlob == "") || (*corpusDir == "" && *loadSpace == "") || len(dataPaths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lsstd (-script prep.ls | -jobs 'glob') (-corpus dir | -load-space file) -data file.csv")
+		os.Exit(2)
+	}
+	if *lint && *scriptPath == "" {
+		fmt.Fprintln(os.Stderr, "lsstd: -lint needs -script, not -jobs")
 		os.Exit(2)
 	}
 	if *execCache != "on" && *execCache != "off" {
@@ -75,13 +88,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	srcBytes, err := os.ReadFile(*scriptPath)
-	if err != nil {
-		fatal(err)
-	}
-	input, err := lucidscript.ParseScript(string(srcBytes))
-	if err != nil {
-		fatal(fmt.Errorf("parsing %s: %w", *scriptPath, err))
+	var input *lucidscript.Script
+	if *scriptPath != "" {
+		srcBytes, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			fatal(err)
+		}
+		input, err = lucidscript.ParseScript(string(srcBytes))
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *scriptPath, err))
+		}
 	}
 
 	sources := map[string]*lucidscript.Frame{}
@@ -103,6 +119,7 @@ func main() {
 		Seed:             *seed,
 		DisableExecCache: *execCache == "off",
 		Timeout:          *timeout,
+		BatchWorkers:     *batchWork,
 	}
 	if *trace {
 		opts.Tracer = lucidscript.NewWriterTracer(os.Stderr)
@@ -158,6 +175,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *jobsGlob != "" {
+		runBatch(ctx, sys, *jobsGlob, metrics)
+		return
+	}
+
 	res, err := sys.StandardizeContext(ctx, input)
 	if err != nil {
 		if !errors.Is(err, lucidscript.ErrCanceled) && !errors.Is(err, lucidscript.ErrDeadlineExceeded) {
@@ -191,6 +213,62 @@ func main() {
 		(res.Timings.GetSteps + res.Timings.GetTopKBeams + res.Timings.CheckIfExecutes).Round(time.Millisecond),
 		res.Timings.VerifyConstraints.Round(time.Millisecond))
 	dumpMetrics(metrics)
+}
+
+// runBatch standardizes every script matching the glob as one concurrent
+// batch over the already-curated system. Outputs are printed in glob order
+// under per-file headers; a failing job is reported on stderr and its input
+// (or partial result) passed through, without stopping the other jobs.
+func runBatch(ctx context.Context, sys *lucidscript.System, glob string, metrics *lucidscript.Metrics) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no files match -jobs %q", glob))
+	}
+	jobs := make([]*lucidscript.Script, len(paths))
+	for i, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		if jobs[i], err = lucidscript.ParseScript(string(b)); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", p, err))
+		}
+	}
+
+	start := time.Now()
+	res, err := sys.StandardizeBatchContext(ctx, jobs)
+	var be *lucidscript.BatchError
+	if err != nil && !errors.As(err, &be) {
+		fatal(err)
+	}
+	failed := 0
+	for i, p := range paths {
+		name := filepath.Base(p)
+		fmt.Printf("# === %s ===\n", name)
+		if be != nil && be.Errs[i] != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: failed: %v\n", name, be.Errs[i])
+			if res[i] != nil {
+				fmt.Print(res[i].Script.Source())
+			} else {
+				fmt.Print(jobs[i].Source())
+			}
+			continue
+		}
+		fmt.Print(res[i].Script.Source())
+		fmt.Fprintf(os.Stderr, "%s: RE %.3f -> %.3f (%.1f%% improvement), intent %.3f\n",
+			name, res[i].REBefore, res[i].REAfter, res[i].ImprovementPct, res[i].IntentValue)
+	}
+	fmt.Fprintf(os.Stderr, "batch: %d jobs in %s, %d failed\n",
+		len(jobs), time.Since(start).Round(time.Millisecond), failed)
+	dumpMetrics(metrics)
+	if failed > 0 {
+		os.Exit(1)
+	}
 }
 
 // dumpMetrics prints the collected counters to stderr when -metrics-dump

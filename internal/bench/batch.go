@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lucidscript/internal/core"
+	"lucidscript/internal/intent"
+)
+
+// BatchResult is the JSON shape written next to the "batch" experiment's
+// table (see Options.JSONPath): one record per dataset comparing a batch
+// standardization against the same jobs run sequentially, each with its own
+// freshly curated system.
+type BatchResult struct {
+	Dataset string `json:"dataset"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	// Reps is how many times each arm ran; the times below are the best
+	// rep, the standard way to cut scheduler noise out of wall-clock runs.
+	Reps         int     `json:"reps"`
+	SequentialMS float64 `json:"sequential_ms"`
+	BatchMS      float64 `json:"batch_ms"`
+	Speedup      float64 `json:"speedup"`
+	// CurateMS is the one-time curation cost inside the batch run; the
+	// sequential baseline pays it once per job.
+	CurateMS float64 `json:"curate_ms"`
+	// CacheHits counts shared-session prefix hits across all batch jobs.
+	CacheHits int64 `json:"cache_hits"`
+	// Identical reports that every batch output matched its sequential
+	// counterpart byte for byte (the experiment fails otherwise).
+	Identical bool `json:"identical"`
+}
+
+// Batch measures the concurrent batch engine against the sequential
+// baseline the paper's single-user workflow implies: N users each curating
+// their own system and standardizing one script. The batch path curates
+// once, shares the execution-prefix cache, and fans jobs across workers;
+// outputs must stay byte-identical to the sequential runs.
+func Batch(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	gc := newGenCache(opts)
+	table := &Table{
+		Title:  "Batch standardization vs sequential (one curation + shared cache vs per-job systems)",
+		Header: []string{"dataset", "jobs", "workers", "seq", "batch", "speedup", "curate", "cache hits"},
+	}
+	var records []BatchResult
+	for _, name := range opts.Datasets {
+		gen, err := gc.get(name)
+		if err != nil {
+			return nil, err
+		}
+		corpus := gen.ScriptsOnly()
+		jobs := gen.Sample(opts.ScriptsPerDataset, opts.Seed+17)
+		cfg := lsConfig(opts, intent.MeasureJaccard, 0.8, "")
+
+		// The arms run interleaved (sequential rep, then batch rep) so
+		// machine drift hits both equally, and the best rep per arm is
+		// recorded so one scheduler hiccup does not decide the comparison.
+		const reps = 5
+		var seqDur, batchDur, curate time.Duration
+		var cacheHits int64
+		seqOut := make([]string, len(jobs))
+		for r := 0; r < reps; r++ {
+			// Sequential baseline: each job pays for its own curation,
+			// exactly what N independent single-shot users would do.
+			// Collect first so garbage from earlier arms/datasets cannot
+			// charge its GC pause to this measurement.
+			runtime.GC()
+			seqStart := time.Now()
+			for i, su := range jobs {
+				std := core.New(corpus, gen.Sources, cfg)
+				res, err := std.Standardize(su)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s sequential job %d: %w", name, i, err)
+				}
+				seqOut[i] = res.Output.Source()
+			}
+			if d := time.Since(seqStart); r == 0 || d < seqDur {
+				seqDur = d
+			}
+
+			// Batch: one curation, one shared session cache, bounded pool.
+			runtime.GC()
+			batchStart := time.Now()
+			std := core.New(corpus, gen.Sources, cfg)
+			eng := core.NewEngine(std, workers, 0)
+			results, errs := eng.StandardizeBatch(context.Background(), jobs)
+			if d := time.Since(batchStart); r == 0 || d < batchDur {
+				batchDur = d
+			}
+			curate = std.Corpus.CurateTime
+			cacheHits = 0
+			for i := range jobs {
+				if errs[i] != nil {
+					return nil, fmt.Errorf("bench: %s batch job %d: %w", name, i, errs[i])
+				}
+				if results[i].Output.Source() != seqOut[i] {
+					return nil, fmt.Errorf("bench: %s batch output diverges from sequential", name)
+				}
+				cacheHits += results[i].CacheStats.Hits
+			}
+		}
+
+		rec := BatchResult{
+			Dataset:      name,
+			Jobs:         len(jobs),
+			Workers:      workers,
+			Reps:         reps,
+			SequentialMS: float64(seqDur.Microseconds()) / 1e3,
+			BatchMS:      float64(batchDur.Microseconds()) / 1e3,
+			Speedup:      float64(seqDur) / float64(batchDur),
+			CurateMS:     float64(curate.Microseconds()) / 1e3,
+			CacheHits:    cacheHits,
+			Identical:    true,
+		}
+		records = append(records, rec)
+		table.Rows = append(table.Rows, []string{
+			name,
+			fmt.Sprintf("%d", rec.Jobs),
+			fmt.Sprintf("%d", rec.Workers),
+			fmt.Sprintf("%.0fms", rec.SequentialMS),
+			fmt.Sprintf("%.0fms", rec.BatchMS),
+			fmt.Sprintf("%.2fx", rec.Speedup),
+			fmt.Sprintf("%.0fms", rec.CurateMS),
+			fmt.Sprintf("%d", rec.CacheHits),
+		})
+		opts.logf("%s: %d jobs, sequential %s vs batch %s (%.2fx)",
+			name, rec.Jobs, seqDur.Round(time.Millisecond), batchDur.Round(time.Millisecond), rec.Speedup)
+	}
+	// Aggregate row: the whole workload, batch vs sequential.
+	if len(records) > 1 {
+		total := BatchResult{Dataset: "all", Workers: workers, Reps: records[0].Reps, Identical: true}
+		for _, r := range records {
+			total.Jobs += r.Jobs
+			total.SequentialMS += r.SequentialMS
+			total.BatchMS += r.BatchMS
+			total.CurateMS += r.CurateMS
+			total.CacheHits += r.CacheHits
+		}
+		total.Speedup = total.SequentialMS / total.BatchMS
+		records = append(records, total)
+		table.Rows = append(table.Rows, []string{
+			"all",
+			fmt.Sprintf("%d", total.Jobs),
+			fmt.Sprintf("%d", total.Workers),
+			fmt.Sprintf("%.0fms", total.SequentialMS),
+			fmt.Sprintf("%.0fms", total.BatchMS),
+			fmt.Sprintf("%.2fx", total.Speedup),
+			fmt.Sprintf("%.0fms", total.CurateMS),
+			fmt.Sprintf("%d", total.CacheHits),
+		})
+	}
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", opts.JSONPath, err)
+		}
+		opts.logf("batch results written to %s", opts.JSONPath)
+	}
+	return table, nil
+}

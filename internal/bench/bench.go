@@ -41,6 +41,12 @@ type Options struct {
 	// DisableExecCache turns off the execution-prefix cache (the zero
 	// value keeps it on, matching core.DefaultConfig).
 	DisableExecCache bool
+	// BatchWorkers bounds the worker pool of the "batch" experiment
+	// (default GOMAXPROCS).
+	BatchWorkers int
+	// JSONPath, when set, makes experiments with machine-readable output
+	// (currently "batch") also write a JSON record file there.
+	JSONPath string
 	// Progress receives one line per unit of work when non-nil.
 	Progress io.Writer
 	// Tracer, when non-nil, receives structured search events from every

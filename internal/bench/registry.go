@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{ID: "fig7", Paper: "Figure 7", Description: "runtime breakdown", Run: Fig7},
 		{ID: "fig9", Paper: "Figure 9", Description: "target-leakage detection", Run: Fig9},
 		{ID: "ablate", Paper: "(extra)", Description: "framework-component ablation (DESIGN.md)", Run: Ablate},
+		{ID: "batch", Paper: "(extra)", Description: "concurrent batch engine vs sequential standardization", Run: Batch},
 	}
 }
 

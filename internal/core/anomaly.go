@@ -41,7 +41,7 @@ func (st *Standardizer) DetectAnomalies(su *script.Script, maxFrequency float64)
 		maxFrequency = 0.1
 	}
 	g := dag.Build(su)
-	base := st.Vocab.RELines(g.Lines)
+	base := st.Corpus.Vocab.RELines(g.Lines)
 	var out []Anomaly
 	for i, li := range g.Lines {
 		if protectedLine(li) {
@@ -56,7 +56,7 @@ func (st *Standardizer) DetectAnomalies(su *script.Script, maxFrequency float64)
 			Line:            i + 1,
 			Source:          li.Key,
 			CorpusFrequency: freq,
-			REGain:          base - st.Vocab.RELines(without),
+			REGain:          base - st.Corpus.Vocab.RELines(without),
 		})
 	}
 	sort.SliceStable(out, func(a, b int) bool {

@@ -57,7 +57,7 @@ func (st *Standardizer) ExplainResult(res *Result) []Explanation {
 			lines = append(restored, lines[tr.Pos:]...)
 		}
 	}
-	prevRE := st.Vocab.RELines(lines)
+	prevRE := st.Corpus.Vocab.RELines(lines)
 	out := make([]Explanation, 0, len(res.Applied))
 	for _, tr := range res.Applied {
 		switch tr.Type {
@@ -66,7 +66,7 @@ func (st *Standardizer) ExplainResult(res *Result) []Explanation {
 		case TransformDelete:
 			lines = append(append(lines[:0:0], lines[:tr.Pos]...), lines[tr.Pos+1:]...)
 		}
-		re := st.Vocab.RELines(lines)
+		re := st.Corpus.Vocab.RELines(lines)
 		out = append(out, Explanation{
 			Transformation:  tr,
 			CorpusFrequency: st.atomFrequency(tr.Atom.Key),
@@ -79,14 +79,14 @@ func (st *Standardizer) ExplainResult(res *Result) []Explanation {
 }
 
 func (st *Standardizer) atomFrequency(key string) float64 {
-	if st.Vocab.NumScripts == 0 {
+	if st.Corpus.Vocab.NumScripts == 0 {
 		return 0
 	}
-	n := st.Vocab.LineCounts[key]
-	if n > st.Vocab.NumScripts {
-		n = st.Vocab.NumScripts
+	n := st.Corpus.Vocab.LineCounts[key]
+	if n > st.Corpus.Vocab.NumScripts {
+		n = st.Corpus.Vocab.NumScripts
 	}
-	return float64(n) / float64(st.Vocab.NumScripts)
+	return float64(n) / float64(st.Corpus.Vocab.NumScripts)
 }
 
 // rationale derives a one-sentence justification from the atom's shape.
@@ -94,7 +94,7 @@ func (st *Standardizer) rationale(tr Transformation) string {
 	key := tr.Atom.Key
 	freq := st.atomFrequency(key)
 	if tr.Type == TransformDelete {
-		if st.Vocab.LineCounts[key] == 0 {
+		if st.Corpus.Vocab.LineCounts[key] == 0 {
 			return "removes a step that no corpus script uses (out-of-the-ordinary step)"
 		}
 		return fmt.Sprintf("removes a step used by only %.0f%% of corpus scripts", freq*100)

@@ -141,11 +141,11 @@ func TestNewWeightedChangesDistribution(t *testing.T) {
 	// Under the weighted corpus, the "rare" script's steps dominate, so its
 	// RE must be lower there than under the unweighted corpus.
 	g := script.MustParse(rare.Source())
-	if weighted.Vocab.RE(buildG(g)) >= plain.Vocab.RE(buildG(g)) {
+	if weighted.Corpus.Vocab.RE(buildG(g)) >= plain.Corpus.Vocab.RE(buildG(g)) {
 		t.Fatal("weighting should pull the distribution toward heavy scripts")
 	}
-	if weighted.Vocab.NumScripts != 11 {
-		t.Fatalf("weighted NumScripts = %d", weighted.Vocab.NumScripts)
+	if weighted.Corpus.Vocab.NumScripts != 11 {
+		t.Fatalf("weighted NumScripts = %d", weighted.Corpus.Vocab.NumScripts)
 	}
 }
 

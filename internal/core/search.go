@@ -23,53 +23,55 @@ import (
 // not execute against the input dataset.
 var ErrInputScriptFails = errors.New("core: input script does not execute")
 
-// Standardizer holds the curated search space for one corpus and dataset,
-// reusable across many input scripts (the offline phase of Section 5.1).
+// Standardizer binds a curated search space to one search configuration,
+// reusable across many input scripts. The curation artifacts themselves
+// live in the CuratedCorpus, which several Standardizers (and the batch
+// Engine) can share.
 type Standardizer struct {
-	Vocab   *entropy.Vocab
-	Sources map[string]*frame.Frame
-	Config  Config
-	// CurateTime records how long the offline phase took.
-	CurateTime time.Duration
-
-	// sampled memoizes the MaxRows-sampled sources so the per-candidate
-	// path never pays the sampling loop (optimization 5 runs once, not once
-	// per execution).
-	sampleMu   sync.Mutex
-	sampledKey sampleKey
-	sampled    map[string]*frame.Frame
-}
-
-type sampleKey struct {
-	maxRows int
-	seed    int64
+	Corpus *CuratedCorpus
+	Config Config
 }
 
 // execSources returns the sources every candidate executes against, with
 // MaxRows sampling applied once and memoized per (MaxRows, Seed).
 func (st *Standardizer) execSources() map[string]*frame.Frame {
-	cfg := st.Config
-	if cfg.MaxRows <= 0 {
-		return st.Sources
+	return st.Corpus.ExecSources(st.Config.MaxRows, st.Config.Seed)
+}
+
+// newSession builds the execution-prefix cache for one standardization, or
+// nil when Config.ExecCache is off.
+func (st *Standardizer) newSession() *interp.SessionCache {
+	return st.newSessionScaled(1)
+}
+
+// newSessionScaled builds a session cache with the node budget scaled for
+// n concurrent searches. The configured (or default) size is tuned for one
+// search; a batch sharing one trie across n jobs needs a bigger budget, or
+// the jobs evict each other's hot prefixes and the cache thrashes. The
+// factor is capped: every cached node pins an environment, so scaling by
+// the full job count would trade eviction thrash for GC drag on big data.
+func (st *Standardizer) newSessionScaled(n int) *interp.SessionCache {
+	if !st.Config.ExecCache {
+		return nil
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
+	size := st.Config.ExecCacheSize
+	if size <= 0 {
+		size = interp.DefaultCacheSize
 	}
-	key := sampleKey{maxRows: cfg.MaxRows, seed: seed}
-	st.sampleMu.Lock()
-	defer st.sampleMu.Unlock()
-	if st.sampled == nil || st.sampledKey != key {
-		st.sampled = interp.SampleSources(st.Sources, cfg.MaxRows, seed)
-		st.sampledKey = key
+	const maxScale = 4
+	if n > maxScale {
+		n = maxScale
 	}
-	return st.sampled
+	if n > 1 {
+		size *= n
+	}
+	return interp.NewSessionCache(st.execSources(), interp.Options{Seed: st.Config.Seed}, size)
 }
 
 // runScript executes a candidate script through the shared session cache
 // when one is active, else via a plain run against the pre-sampled sources.
 // The context cancels at statement granularity.
-func (st *Standardizer) runScript(ctx context.Context, sess *interp.SessionCache, s *script.Script) (*interp.Result, error) {
+func (st *Standardizer) runScript(ctx context.Context, sess interp.Session, s *script.Script) (*interp.Result, error) {
 	if sess != nil {
 		return sess.RunContext(ctx, s)
 	}
@@ -77,7 +79,7 @@ func (st *Standardizer) runScript(ctx context.Context, sess *interp.SessionCache
 }
 
 // checkScript is runScript for the execution constraint only.
-func (st *Standardizer) checkScript(ctx context.Context, sess *interp.SessionCache, s *script.Script) error {
+func (st *Standardizer) checkScript(ctx context.Context, sess interp.Session, s *script.Script) error {
 	if sess != nil {
 		return sess.CheckContext(ctx, s)
 	}
@@ -95,17 +97,14 @@ func New(corpus []*script.Script, sources map[string]*frame.Frame, cfg Config) *
 // Section 8); a script with weight w counts as w copies in the corpus
 // distribution. Nil weights or non-positive entries default to 1.
 func NewWeighted(corpus []*script.Script, weights []int, sources map[string]*frame.Frame, cfg Config) *Standardizer {
-	start := time.Now()
-	graphs := make([]*dag.Graph, len(corpus))
-	for i, s := range corpus {
-		graphs[i] = dag.Build(s)
-	}
-	return &Standardizer{
-		Vocab:      entropy.BuildVocabWeighted(graphs, weights),
-		Sources:    sources,
-		Config:     cfg,
-		CurateTime: time.Since(start),
-	}
+	return FromCorpus(CurateWeighted(corpus, weights, sources), cfg)
+}
+
+// FromCorpus binds an already-curated corpus to a configuration without
+// re-curating — the entry point for callers that standardize against the
+// same corpus under several configurations or from several goroutines.
+func FromCorpus(cc *CuratedCorpus, cfg Config) *Standardizer {
+	return &Standardizer{Corpus: cc, Config: cfg}
 }
 
 // Result reports one standardization run.
@@ -172,6 +171,21 @@ func (st *Standardizer) StandardizeGrid(su *script.Script, seqs []int, constrain
 // cell verified against whatever archive the truncated search produced,
 // falling back to the input script — and ErrCanceled/ErrDeadlineExceeded.
 func (st *Standardizer) StandardizeGridContext(ctx context.Context, su *script.Script, seqs []int, constraints []intent.Constraint) ([][]*Result, error) {
+	// One shared, mutex-guarded session cache serves every execution in
+	// this call: early checks, parallel beam extensions, and the per-cell
+	// verification runs all reuse each other's statement prefixes.
+	var sess interp.Session
+	if sc := st.newSession(); sc != nil {
+		sess = sc
+	}
+	return st.standardizeGridSession(ctx, sess, su, seqs, constraints)
+}
+
+// standardizeGridSession is StandardizeGridContext against a caller-supplied
+// execution session (nil = uncached runs). The batch engine passes per-job
+// views of one shared SessionCache here, so jobs reuse each other's
+// statement prefixes while each Result's CacheStats stay job-local.
+func (st *Standardizer) standardizeGridSession(ctx context.Context, sess interp.Session, su *script.Script, seqs []int, constraints []intent.Constraint) ([][]*Result, error) {
 	cfg := st.Config
 	o := newObsState(ctx, cfg)
 	start := o.start
@@ -182,26 +196,19 @@ func (st *Standardizer) StandardizeGridContext(ctx context.Context, su *script.S
 		}
 	}
 	var searchTimings Timings
-	searchTimings.CurateSearchSpace = st.CurateTime
+	searchTimings.CurateSearchSpace = st.Corpus.CurateTime
 	var gs gridStats
 	if o.enabled() {
-		o.emit(obs.Event{Kind: obs.EvCurateDone, Phase: obs.PhaseCurate, N: st.Vocab.NumScripts, Dur: st.CurateTime})
+		o.emit(obs.Event{Kind: obs.EvCurateDone, Phase: obs.PhaseCurate, N: st.Corpus.Vocab.NumScripts, Dur: st.Corpus.CurateTime})
 	}
 
 	// Lemmatize the input and compute its baseline.
 	g := dag.Build(su)
-	orig := &candidate{lines: g.Lines, re: st.Vocab.RELines(g.Lines)}
+	orig := &candidate{lines: g.Lines, re: st.Corpus.Vocab.RELines(g.Lines)}
 	if o.enabled() {
 		o.emit(obs.Event{Kind: obs.EvSearchStart, Phase: obs.PhaseExtend, N: len(g.Lines)})
 	}
 
-	// One shared, mutex-guarded session cache serves every execution in
-	// this call: early checks, parallel beam extensions, and the per-cell
-	// verification runs all reuse each other's statement prefixes.
-	var sess *interp.SessionCache
-	if cfg.ExecCache {
-		sess = interp.NewSessionCache(st.execSources(), interp.Options{Seed: cfg.Seed}, cfg.ExecCacheSize)
-	}
 	t0 := time.Now()
 	origRun, err := st.runScript(o.ctxCheck, sess, g.Script)
 	gs.execChecks++
@@ -420,16 +427,16 @@ func selectBeams(next []*candidate, k int) []*candidate {
 // top-K, verifying the execution constraint first when early checking is on.
 // extendOne runs GetSteps + (diverse) beam extension for one parent beam,
 // appending admitted candidates to next.
-func (st *Standardizer) extendOne(ctx context.Context, o *obsState, sess *interp.SessionCache, next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *extendStats) []*candidate {
+func (st *Standardizer) extendOne(ctx context.Context, o *obsState, sess interp.Session, next []*candidate, cand *candidate, seen *seenSet, timings *Timings, counter *extendStats) []*candidate {
 	cfg := st.Config
 	before := len(next)
 	t0 := time.Now()
-	steps := getStepsOpt(cand, st.Vocab, !cfg.DisableLookahead)
+	steps := getStepsOpt(cand, st.Corpus.Vocab, !cfg.DisableLookahead)
 	timings.GetSteps += time.Since(t0)
 	steps = limitSteps(steps, cfg.StepLimit)
 	t1 := time.Now()
 	if cfg.Diversity {
-		clusters := clusterSteps(cand, steps, cfg.Clusters, st.Vocab)
+		clusters := clusterSteps(cand, steps, cfg.Clusters, st.Corpus.Vocab)
 		per := cfg.BeamSize / cfg.Clusters
 		if per < 1 {
 			per = 1
@@ -452,7 +459,7 @@ func (st *Standardizer) extendOne(ctx context.Context, o *obsState, sess *interp
 // candidates admitted in earlier steps (the shared base set) plus its own
 // local admissions; results merge in parent order with a final cross-beam
 // dedup, so the outcome is deterministic for a fixed configuration.
-func (st *Standardizer) extendAllParallel(ctx context.Context, o *obsState, sess *interp.SessionCache, beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *extendStats) []*candidate {
+func (st *Standardizer) extendAllParallel(ctx context.Context, o *obsState, sess interp.Session, beams []*candidate, globalSeen map[string]bool, timings *Timings, counter *extendStats) []*candidate {
 	n := len(beams)
 	results := make([][]*candidate, n)
 	perTimings := make([]Timings, n)
@@ -510,7 +517,7 @@ func (s *seenSet) has(key string) bool { return s.base[key] || s.local[key] }
 
 func (s *seenSet) add(key string) { s.local[key] = true }
 
-func (st *Standardizer) extendBeams(ctx context.Context, o *obsState, sess *interp.SessionCache, acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *extendStats) []*candidate {
+func (st *Standardizer) extendBeams(ctx context.Context, o *obsState, sess interp.Session, acc []*candidate, cand *candidate, steps []Transformation, k int, seen *seenSet, res *extendStats) []*candidate {
 	admitted := 0
 	for _, tr := range steps {
 		if admitted >= k {
@@ -521,7 +528,7 @@ func (st *Standardizer) extendBeams(ctx context.Context, o *obsState, sess *inte
 		if ctx.Err() != nil {
 			break
 		}
-		nc := cand.apply(tr, st.Vocab)
+		nc := cand.apply(tr, st.Corpus.Vocab)
 		key := nc.key()
 		if seen.has(key) {
 			continue
@@ -640,7 +647,7 @@ func (vc *verifyCache) satisfied(constraint intent.Constraint, cand *candidate, 
 // never worsens standardness. The context is polled per candidate, so a
 // canceled verification falls back to the input promptly. Returns the
 // winning candidate and how many candidates were examined.
-func (st *Standardizer) verifyWith(ctx context.Context, o *obsState, sess *interp.SessionCache, archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) (*candidate, int) {
+func (st *Standardizer) verifyWith(ctx context.Context, o *obsState, sess interp.Session, archive []*candidate, orig *candidate, constraint intent.Constraint, cache *verifyCache, res *Result) (*candidate, int) {
 	sorted := append([]*candidate(nil), archive...)
 	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
 	checked := 0

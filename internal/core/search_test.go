@@ -349,16 +349,16 @@ func TestEarliestInsertPos(t *testing.T) {
 func TestCandidateApply(t *testing.T) {
 	st := newStandardizer(t, DefaultConfig())
 	g := dag.Build(script.MustParse(userScript))
-	c := &candidate{lines: g.Lines, re: st.Vocab.RELines(g.Lines)}
-	atom := st.Vocab.Lines["df = df.fillna(df.mean())"]
-	added := c.apply(Transformation{Type: TransformAdd, Atom: atom, Pos: 2}, st.Vocab)
+	c := &candidate{lines: g.Lines, re: st.Corpus.Vocab.RELines(g.Lines)}
+	atom := st.Corpus.Vocab.Lines["df = df.fillna(df.mean())"]
+	added := c.apply(Transformation{Type: TransformAdd, Atom: atom, Pos: 2}, st.Corpus.Vocab)
 	if len(added.lines) != len(c.lines)+1 {
 		t.Fatal("add did not grow the script")
 	}
 	if added.lowWater != 3 {
 		t.Fatalf("lowWater = %d", added.lowWater)
 	}
-	del := c.apply(Transformation{Type: TransformDelete, Atom: c.lines[2], Pos: 2}, st.Vocab)
+	del := c.apply(Transformation{Type: TransformDelete, Atom: c.lines[2], Pos: 2}, st.Corpus.Vocab)
 	if len(del.lines) != len(c.lines)-1 {
 		t.Fatal("delete did not shrink the script")
 	}
@@ -374,8 +374,8 @@ func TestCandidateApply(t *testing.T) {
 func TestGetStepsRankedByRE(t *testing.T) {
 	st := newStandardizer(t, DefaultConfig())
 	g := dag.Build(script.MustParse(userScript))
-	c := &candidate{lines: g.Lines, re: st.Vocab.RELines(g.Lines)}
-	steps := getSteps(c, st.Vocab)
+	c := &candidate{lines: g.Lines, re: st.Corpus.Vocab.RELines(g.Lines)}
+	steps := getSteps(c, st.Corpus.Vocab)
 	if len(steps) == 0 {
 		t.Fatal("no steps enumerated")
 	}

@@ -35,6 +35,15 @@ func (c CacheStats) EstSavedTime() time.Duration {
 	return time.Duration(per * float64(c.StmtsSkipped))
 }
 
+// Session is the execution surface the search layer runs candidates
+// through: either a *SessionCache itself or a per-job *CacheView of one.
+// Both are safe for concurrent use.
+type Session interface {
+	RunContext(ctx context.Context, s *script.Script) (*Result, error)
+	CheckContext(ctx context.Context, s *script.Script) error
+	Stats() CacheStats
+}
+
 // trieNode is one executed statement prefix. The path from the root spells
 // the exact statement texts executed so far; env is the (immutable) forked
 // environment after executing that prefix, or nil when the prefix fails,
@@ -100,12 +109,22 @@ func (c *SessionCache) Run(s *script.Script) (*Result, error) {
 // fully executed (or genuinely failed) statement, so the cache stays
 // consistent and reusable after an abort.
 func (c *SessionCache) RunContext(ctx context.Context, s *script.Script) (*Result, error) {
+	return c.runContext(ctx, s, nil)
+}
+
+// runContext is RunContext with optional per-view stats attribution: when
+// view is non-nil, every statement's hit/miss delta is also folded into the
+// view's private counters (the shared totals always accumulate).
+func (c *SessionCache) runContext(ctx context.Context, s *script.Script, view *CacheView) (*Result, error) {
 	node := c.root
 	for i, st := range s.Stmts {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("interp: canceled before line %d (%s): %w", i+1, st.Source(), err)
 		}
-		next, err := c.step(node, i, st)
+		next, delta, err := c.step(node, i, st)
+		if view != nil {
+			view.add(delta)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -138,12 +157,13 @@ func (c *SessionCache) Stats() CacheStats {
 	return c.stats
 }
 
-// step advances one statement from node, returning the child node for st.
+// step advances one statement from node, returning the child node for st and
+// the per-statement stats delta (one hit or one miss with its exec time).
 // On a hit the cached child is returned; on a miss the parent environment is
 // forked and the statement executed outside the lock, then inserted. When two
 // goroutines race on the same miss, the first insert wins and the loser's
 // result is discarded — determinism makes them interchangeable.
-func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode, error) {
+func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode, CacheStats, error) {
 	key := st.Source()
 	c.mu.Lock()
 	c.clock++
@@ -152,7 +172,7 @@ func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode
 		c.stats.Hits++
 		c.stats.StmtsSkipped++
 		c.mu.Unlock()
-		return child, child.err
+		return child, CacheStats{Hits: 1, StmtsSkipped: 1}, child.err
 	}
 	c.stats.Misses++
 	c.stats.StmtsExecuted++
@@ -166,6 +186,7 @@ func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode
 		execErr = fmt.Errorf("interp: line %d (%s): %w", line+1, key, execErr)
 		env = nil
 	}
+	delta := CacheStats{Misses: 1, StmtsExecuted: 1, ExecTime: elapsed}
 
 	c.mu.Lock()
 	c.stats.ExecTime += elapsed
@@ -174,7 +195,7 @@ func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode
 		// Lost the race; keep the first-inserted node.
 		child.lastUsed = c.clock
 		c.mu.Unlock()
-		return child, child.err
+		return child, delta, child.err
 	}
 	child := &trieNode{key: key, parent: node, env: env, err: execErr, lastUsed: c.clock}
 	if node.children == nil {
@@ -186,7 +207,51 @@ func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode
 		c.evictLocked()
 	}
 	c.mu.Unlock()
-	return child, child.err
+	return child, delta, child.err
+}
+
+// CacheView is a per-caller handle on a shared SessionCache: runs through a
+// view hit the same trie (so concurrent batch jobs share each other's
+// prefixes) while the view's Stats only count this caller's traffic.
+// Evictions are a property of the shared cache, not of any one view, so a
+// view's Evictions stays 0 — read the underlying cache's Stats for them.
+type CacheView struct {
+	c     *SessionCache
+	mu    sync.Mutex
+	stats CacheStats
+}
+
+// NewView returns a view whose Stats attribute traffic to this caller only.
+func (c *SessionCache) NewView() *CacheView { return &CacheView{c: c} }
+
+func (v *CacheView) add(d CacheStats) {
+	v.mu.Lock()
+	v.stats.Hits += d.Hits
+	v.stats.Misses += d.Misses
+	v.stats.StmtsExecuted += d.StmtsExecuted
+	v.stats.StmtsSkipped += d.StmtsSkipped
+	v.stats.ExecTime += d.ExecTime
+	v.mu.Unlock()
+}
+
+// RunContext executes the script through the shared cache, attributing the
+// per-statement traffic to this view.
+func (v *CacheView) RunContext(ctx context.Context, s *script.Script) (*Result, error) {
+	return v.c.runContext(ctx, s, v)
+}
+
+// CheckContext reports whether the script runs without error, through the
+// shared cache, attributing traffic to this view.
+func (v *CacheView) CheckContext(ctx context.Context, s *script.Script) error {
+	_, err := v.c.runContext(ctx, s, v)
+	return err
+}
+
+// Stats returns a snapshot of this view's traffic counters.
+func (v *CacheView) Stats() CacheStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
 }
 
 // evictLocked drops least-recently-used leaves until the trie is at 90% of

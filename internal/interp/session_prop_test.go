@@ -1,0 +1,190 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lucidscript/internal/script"
+)
+
+// propScripts builds a pool of scripts over the titanic fixture sharing many
+// prefixes (to provoke hit/miss races), including failing ones (unknown
+// column) so error nodes enter the trie too.
+func propScripts(t *testing.T) []*script.Script {
+	t.Helper()
+	stmts := [][]string{
+		{`df = pd.read_csv("train.csv")`},
+		{
+			`df = df.fillna(df.mean())`,
+			`df = df.dropna()`,
+			``,
+		},
+		{
+			`df = df[df["Fare"] < 60]`,
+			`df = df[df["Age"] > 20]`,
+			`df = df[df["Nope"] > 3]`, // fails: unknown column
+			``,
+		},
+		{
+			`df = pd.get_dummies(df)`,
+			`y = df["Survived"]`,
+			``,
+		},
+	}
+	base := "import pandas as pd\n"
+	srcs := []string{}
+	var build func(prefix string, level int)
+	build = func(prefix string, level int) {
+		if level == len(stmts) {
+			srcs = append(srcs, prefix)
+			return
+		}
+		for _, s := range stmts[level] {
+			next := prefix
+			if s != "" {
+				next += s + "\n"
+			}
+			build(next, level+1)
+		}
+	}
+	build(base, 0)
+	out := make([]*script.Script, len(srcs))
+	for i, s := range srcs {
+		out[i] = script.MustParse(s)
+	}
+	return out
+}
+
+// TestSessionCacheInvariantsUnderLoad hammers one small shared cache from
+// many goroutines — through per-goroutine views, with randomly injected
+// per-run cancellation and a maxNodes low enough to force evictions — then
+// checks the structural invariants:
+//
+//  1. every trie node holds an environment XOR an error (a fully executed
+//     statement or a genuine failure, never both or neither);
+//  2. no cached error is a context cancellation (aborted runs must not
+//     poison the trie);
+//  3. the node count bookkeeping matches the walked trie and respects
+//     maxNodes;
+//  4. per-view accounting: Hits==StmtsSkipped, Misses==StmtsExecuted, view
+//     Evictions stay zero, and the views sum to the shared totals;
+//  5. after the storm, cached results still equal plain interp.Run.
+func TestSessionCacheInvariantsUnderLoad(t *testing.T) {
+	sources := titanicSources(t)
+	opts := Options{Seed: 5}
+	pool := propScripts(t)
+
+	const (
+		goroutines = 8
+		iters      = 60
+		maxNodes   = 12 // far below the pool's distinct-prefix count
+	)
+	cache := NewSessionCache(sources, opts, maxNodes)
+
+	views := make([]*CacheView, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		views[g] = cache.NewView()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			for i := 0; i < iters; i++ {
+				s := pool[rng.Intn(len(pool))]
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if rng.Intn(3) == 0 {
+					// Inject a deadline that can strike mid-run.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(40))*time.Microsecond)
+				}
+				_, _ = views[g].RunContext(ctx, s)
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// A serial, uncancelable pass over the whole pool: with more distinct
+	// prefixes than maxNodes this forces evictions deterministically (the
+	// concurrent phase alone might not insert enough nodes when injected
+	// deadlines strike early). Routed through a view so the per-view sums
+	// still cover all traffic.
+	flush := cache.NewView()
+	views = append(views, flush)
+	for _, s := range pool {
+		_, _ = flush.RunContext(context.Background(), s)
+	}
+
+	// Invariants 1-3: inspect the trie under the cache's own lock.
+	cache.mu.Lock()
+	walked := 0
+	var walk func(n *trieNode) error
+	walk = func(n *trieNode) error {
+		if n != cache.root {
+			walked++
+			if (n.env == nil) == (n.err == nil) {
+				return fmt.Errorf("node %q: env=%v err=%v, want exactly one", n.key, n.env != nil, n.err)
+			}
+			if n.err != nil && (errors.Is(n.err, context.Canceled) || errors.Is(n.err, context.DeadlineExceeded)) {
+				return fmt.Errorf("node %q caches a context error: %v", n.key, n.err)
+			}
+		}
+		for key, ch := range n.children {
+			if ch.key != key || ch.parent != n {
+				return fmt.Errorf("node %q: broken parent/key links", key)
+			}
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	walkErr := walk(cache.root)
+	nodes, shared := cache.nodes, cache.stats
+	cache.mu.Unlock()
+	if walkErr != nil {
+		t.Fatal(walkErr)
+	}
+	if walked != nodes {
+		t.Errorf("walked %d nodes, bookkeeping says %d", walked, nodes)
+	}
+	if nodes > maxNodes {
+		t.Errorf("trie holds %d nodes, cap is %d", nodes, maxNodes)
+	}
+
+	// Invariant 4: per-view and shared accounting.
+	var sum CacheStats
+	for g, v := range views {
+		st := v.Stats()
+		if st.Hits != st.StmtsSkipped {
+			t.Errorf("view %d: Hits=%d != StmtsSkipped=%d", g, st.Hits, st.StmtsSkipped)
+		}
+		if st.Misses != st.StmtsExecuted {
+			t.Errorf("view %d: Misses=%d != StmtsExecuted=%d", g, st.Misses, st.StmtsExecuted)
+		}
+		if st.Evictions != 0 {
+			t.Errorf("view %d: Evictions=%d, want 0 (evictions are global)", g, st.Evictions)
+		}
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+	}
+	if sum.Hits != shared.Hits || sum.Misses != shared.Misses {
+		t.Errorf("views sum to %d hits / %d misses, shared cache counted %d / %d",
+			sum.Hits, sum.Misses, shared.Hits, shared.Misses)
+	}
+	if shared.Evictions == 0 {
+		t.Error("no evictions despite maxNodes below the distinct-prefix count")
+	}
+
+	// Invariant 5: the storm must not have corrupted cached results.
+	for i, s := range pool {
+		plain, plainErr := Run(s, sources, opts)
+		cached, cachedErr := cache.Run(s)
+		assertSameResult(t, fmt.Sprintf("script %d after load", i), plain, plainErr, cached, cachedErr)
+	}
+}

@@ -71,6 +71,9 @@ const (
 type Event struct {
 	// Kind identifies the event.
 	Kind EventKind
+	// Job is the 1-based batch job index the event belongs to, 0 for
+	// single-shot standardizations (see JobTracer).
+	Job int
 	// Elapsed is the monotonic offset since the search started.
 	Elapsed time.Duration
 	// Phase is the search phase (curate, extend, check, verify).
@@ -91,6 +94,9 @@ type Event struct {
 func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "+%-11s %-7s %-18s", e.Elapsed.Round(time.Microsecond), e.Phase, e.Kind)
+	if e.Job > 0 {
+		fmt.Fprintf(&b, " job=%d", e.Job)
+	}
 	if e.Step > 0 {
 		fmt.Fprintf(&b, " step=%d", e.Step)
 	}
@@ -157,6 +163,27 @@ func (t *CollectTracer) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]Event(nil), t.events...)
+}
+
+// jobTracer stamps every event with a batch job index before forwarding.
+type jobTracer struct {
+	t   Tracer
+	job int
+}
+
+func (j jobTracer) Emit(e Event) {
+	e.Job = j.job
+	j.t.Emit(e)
+}
+
+// JobTracer wraps t so every emitted event carries the 1-based batch job
+// index, letting one shared tracer attribute interleaved events from
+// concurrent jobs. A nil t stays nil (tracing disabled).
+func JobTracer(t Tracer, job int) Tracer {
+	if t == nil {
+		return nil
+	}
+	return jobTracer{t: t, job: job}
 }
 
 // multiTracer fans one event out to several tracers.

@@ -105,13 +105,16 @@ type NumberLit struct {
 
 func (*NumberLit) exprNode() {}
 
-// Source renders the number. Integer-valued literals print without a
-// fractional part so parsing and printing round-trip.
+// Source renders the number as the shortest decimal that parses back to
+// the same float64, in fixed-point form (the lexer has no scientific
+// notation). Integral values — whatever their IsInt flag — therefore print
+// without a fractional part, and negative zero normalizes to "0" (the sign
+// would re-fold into the literal on reparse).
 func (e *NumberLit) Source() string {
-	if e.IsInt {
-		return strconv.FormatInt(int64(e.Value), 10)
+	if e.Value == 0 {
+		return "0"
 	}
-	return strconv.FormatFloat(e.Value, 'g', -1, 64)
+	return strconv.FormatFloat(e.Value, 'f', -1, 64)
 }
 
 // StringLit is a string literal; canonical form uses double quotes.
@@ -155,8 +158,22 @@ type AttrExpr struct {
 
 func (*AttrExpr) exprNode() {}
 
+// postfixOperand renders x as the operand of a postfix form (attribute
+// access, call, subscript). Postfix binds tighter than any operator, so an
+// operator expression in that position must keep its parentheses —
+// `([] % 0)[k]` would otherwise print as `[] % 0[k]` and re-parse as
+// `[] % (0[k])`. A number literal needs them too: `(2).mean` without
+// parentheses lexes as the number `2.` followed by `mean`.
+func postfixOperand(x Expr) string {
+	switch x.(type) {
+	case *BinaryExpr, *UnaryExpr, *NumberLit:
+		return "(" + x.Source() + ")"
+	}
+	return x.Source()
+}
+
 // Source renders the attribute access.
-func (e *AttrExpr) Source() string { return e.X.Source() + "." + e.Attr }
+func (e *AttrExpr) Source() string { return postfixOperand(e.X) + "." + e.Attr }
 
 // Kwarg is a keyword argument inside a call.
 type Kwarg struct {
@@ -182,7 +199,7 @@ func (e *CallExpr) Source() string {
 	for _, k := range e.Kwargs {
 		parts = append(parts, k.Name+"="+k.Value.Source())
 	}
-	return e.Fn.Source() + "(" + strings.Join(parts, ", ") + ")"
+	return postfixOperand(e.Fn) + "(" + strings.Join(parts, ", ") + ")"
 }
 
 // IndexExpr is subscripting `x[index]`: column access (string index),
@@ -195,7 +212,7 @@ type IndexExpr struct {
 func (*IndexExpr) exprNode() {}
 
 // Source renders the subscript.
-func (e *IndexExpr) Source() string { return e.X.Source() + "[" + e.Index.Source() + "]" }
+func (e *IndexExpr) Source() string { return postfixOperand(e.X) + "[" + e.Index.Source() + "]" }
 
 // SliceExpr is a two-part subscript index `a, b` as used by df.loc[rows, col].
 type SliceExpr struct {

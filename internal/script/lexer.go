@@ -58,6 +58,38 @@ func (lx *Lexer) advance() rune {
 	return r
 }
 
+// hexDigits consumes exactly n hex digits and returns their value as a
+// rune. On malformed input it consumes nothing and reports !ok, so the
+// caller can fall back to the literal-backslash behavior.
+func (lx *Lexer) hexDigits(n int) (rune, bool) {
+	if lx.pos+n > len(lx.src) {
+		return 0, false
+	}
+	var v rune
+	for i := 0; i < n; i++ {
+		r := lx.src[lx.pos+i]
+		var d rune
+		switch {
+		case r >= '0' && r <= '9':
+			d = r - '0'
+		case r >= 'a' && r <= 'f':
+			d = r - 'a' + 10
+		case r >= 'A' && r <= 'F':
+			d = r - 'A' + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	if v > unicode.MaxRune {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		lx.advance()
+	}
+	return v, true
+}
+
 func (lx *Lexer) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("script: line %d col %d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
 }
@@ -151,6 +183,26 @@ func (lx *Lexer) next() (Token, error) {
 					b.WriteRune('\n')
 				case 't':
 					b.WriteRune('\t')
+				case 'a':
+					b.WriteRune('\a')
+				case 'b':
+					b.WriteRune('\b')
+				case 'f':
+					b.WriteRune('\f')
+				case 'r':
+					b.WriteRune('\r')
+				case 'v':
+					b.WriteRune('\v')
+				case 'x', 'u', 'U':
+					// Hex escapes, as emitted by the printer's strconv.Quote:
+					// \xHH, \uXXXX, \UXXXXXXXX.
+					n := map[rune]int{'x': 2, 'u': 4, 'U': 8}[e]
+					if v, ok := lx.hexDigits(n); ok {
+						b.WriteRune(v)
+					} else {
+						b.WriteRune('\\')
+						b.WriteRune(e)
+					}
 				case '\\', '\'', '"':
 					b.WriteRune(e)
 				default:

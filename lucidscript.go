@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"lucidscript/internal/core"
@@ -123,6 +124,11 @@ type Options struct {
 	// differ slightly from the sequential search (per-beam candidate
 	// de-duplication).
 	Workers int
+	// BatchWorkers bounds StandardizeBatch's worker pool — how many jobs
+	// standardize concurrently. 0 resolves to runtime.GOMAXPROCS(0). It is
+	// independent of Workers, which parallelizes the beam search inside
+	// each job.
+	BatchWorkers int
 	// DisableExecCache turns off the execution-prefix cache that shares
 	// interpreter work across beam-search candidates. Results are identical
 	// either way; the cache only changes speed.
@@ -148,13 +154,14 @@ type Options struct {
 // knob without re-deriving the rest.
 func DefaultOptions() Options {
 	return Options{
-		SeqLength: 16,
-		BeamSize:  3,
-		Measure:   IntentJaccard,
-		Tau:       0.9,
-		Seed:      1,
-		MaxRows:   50000,
-		Workers:   1,
+		SeqLength:    16,
+		BeamSize:     3,
+		Measure:      IntentJaccard,
+		Tau:          0.9,
+		Seed:         1,
+		MaxRows:      50000,
+		Workers:      1,
+		BatchWorkers: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -201,6 +208,9 @@ func (o Options) resolved() Options {
 	if o.Workers == 0 {
 		o.Workers = def.Workers
 	}
+	if o.BatchWorkers == 0 {
+		o.BatchWorkers = def.BatchWorkers
+	}
 	return o
 }
 
@@ -234,8 +244,8 @@ func (o Options) Validate() error {
 			return fmt.Errorf("%w: Jaccard Tau = %v exceeds 1", ErrInvalidThreshold, o.Tau)
 		}
 	}
-	if o.SeqLength < 0 || o.BeamSize < 0 || o.Workers < 0 {
-		return fmt.Errorf("%w: SeqLength/BeamSize/Workers must not be negative", ErrInvalidThreshold)
+	if o.SeqLength < 0 || o.BeamSize < 0 || o.Workers < 0 || o.BatchWorkers < 0 {
+		return fmt.Errorf("%w: SeqLength/BeamSize/Workers/BatchWorkers must not be negative", ErrInvalidThreshold)
 	}
 	if o.Timeout < 0 {
 		return fmt.Errorf("%w: Timeout must not be negative", ErrInvalidThreshold)
@@ -292,6 +302,9 @@ var (
 	// ErrDeadlineExceeded reports a standardization stopped by a context
 	// deadline or Options.Timeout; a partial Result accompanies it.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrJobPanicked reports that one StandardizeBatch job panicked; the
+	// panic is contained to that job's entry in BatchError.
+	ErrJobPanicked = core.ErrJobPanicked
 )
 
 // Tracer receives structured search events during standardization. See
@@ -420,8 +433,9 @@ type Result struct {
 // System is a standardizer bound to one corpus and dataset; it is safe to
 // reuse for many input scripts (the search space is curated once).
 type System struct {
-	std     *core.Standardizer
-	timeout time.Duration
+	std          *core.Standardizer
+	timeout      time.Duration
+	batchWorkers int
 }
 
 // NewSystem curates the search space from the corpus and dataset. Options
@@ -449,10 +463,10 @@ func NewSystem(corpus []*Script, sources map[string]*Frame, opts Options) (*Syst
 	cfg.Constraint = opts.constraint()
 	std := core.NewWeighted(corpus, opts.Weights, sources, cfg)
 	if opts.Auto {
-		seq, k := core.AutoConfig(len(corpus), std.Vocab.NumUniqueEdges())
+		seq, k := core.AutoConfig(len(corpus), std.Corpus.Vocab.NumUniqueEdges())
 		std.Config.SeqLength, std.Config.BeamSize = seq, k
 	}
-	return &System{std: std, timeout: opts.Timeout}, nil
+	return &System{std: std, timeout: opts.Timeout, batchWorkers: opts.BatchWorkers}, nil
 }
 
 // Standardize returns the standardized version of the input script. It is
@@ -478,6 +492,79 @@ func (s *System) StandardizeContext(ctx context.Context, input *Script) (*Result
 		return nil, err
 	}
 	return s.toResult(res), err
+}
+
+// BatchError aggregates per-job failures from StandardizeBatch. Errs is
+// index-aligned with the submitted jobs: Errs[i] is nil when job i
+// succeeded. errors.Is/As see every per-job error through Unwrap.
+type BatchError struct {
+	// Errs holds one entry per job, nil for jobs that succeeded.
+	Errs []error
+}
+
+// Error summarizes how many jobs failed and quotes the first failure.
+func (e *BatchError) Error() string {
+	failed, total := 0, len(e.Errs)
+	var first error
+	for _, err := range e.Errs {
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			failed++
+		}
+	}
+	if first == nil {
+		return fmt.Sprintf("lucidscript: batch of %d jobs failed", total)
+	}
+	return fmt.Sprintf("lucidscript: %d of %d jobs failed (first: %v)", failed, total, first)
+}
+
+// Unwrap exposes the non-nil per-job errors to errors.Is and errors.As.
+func (e *BatchError) Unwrap() []error {
+	var errs []error
+	for _, err := range e.Errs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// StandardizeBatch standardizes every job concurrently over one shared
+// curated corpus and one shared execution-prefix cache, using a worker pool
+// of Options.BatchWorkers goroutines. It is StandardizeBatchContext with a
+// background context.
+func (s *System) StandardizeBatch(jobs []*Script) ([]*Result, error) {
+	return s.StandardizeBatchContext(context.Background(), jobs)
+}
+
+// StandardizeBatchContext is StandardizeBatch under a context. Results are
+// index-aligned with jobs and deterministic: each job's output is
+// byte-identical to a sequential Standardize of the same script. Failures
+// are per-job — an execution error, an Options.Timeout expiry
+// (ErrDeadlineExceeded, applied to each job individually), or even a panic
+// (ErrJobPanicked) in one job leaves the others untouched; the failed job's
+// Result is its partial result or nil. Canceling ctx stops the whole batch.
+// When any job fails the returned error is a *BatchError whose Errs slice
+// is parallel to jobs.
+func (s *System) StandardizeBatchContext(ctx context.Context, jobs []*Script) ([]*Result, error) {
+	eng := core.NewEngine(s.std, s.batchWorkers, s.timeout)
+	coreRes, coreErrs := eng.StandardizeBatch(ctx, jobs)
+	results := make([]*Result, len(jobs))
+	failed := false
+	for i, cr := range coreRes {
+		if cr != nil {
+			results[i] = s.toResult(cr)
+		}
+		if coreErrs[i] != nil {
+			failed = true
+		}
+	}
+	if failed {
+		return results, &BatchError{Errs: coreErrs}
+	}
+	return results, nil
 }
 
 // searchContext applies Options.Timeout to the caller's context.
@@ -570,7 +657,7 @@ type CorpusStats struct {
 
 // Stats returns the corpus statistics used by Table 3 and AutoConfig.
 func (s *System) Stats() CorpusStats {
-	v := s.std.Vocab
+	v := s.std.Corpus.Vocab
 	return CorpusStats{
 		Scripts:        v.NumScripts,
 		UniqueUnigrams: v.NumUniqueUnigrams(),
@@ -583,7 +670,7 @@ func (s *System) Stats() CorpusStats {
 // output: atom/edge vocabularies, corpus distribution, atom positions) so a
 // later session can LoadSystem without re-curating the corpus.
 func (s *System) SaveSearchSpace(w io.Writer) error {
-	return s.std.Vocab.Encode(w)
+	return s.std.Corpus.Vocab.Encode(w)
 }
 
 // LoadSystem rebuilds a System from a search space written by
@@ -603,7 +690,7 @@ func LoadSystem(r io.Reader, sources map[string]*Frame, opts Options) (*System, 
 	if err != nil {
 		return nil, err
 	}
-	sys.std.Vocab = vocab
+	sys.std.Corpus.Vocab = vocab
 	if opts.Auto {
 		seq, k := core.AutoConfig(vocab.NumScripts, vocab.NumUniqueEdges())
 		sys.std.Config.SeqLength, sys.std.Config.BeamSize = seq, k
@@ -648,7 +735,7 @@ func (s *System) AnomalyReport(sc *Script, maxFrequency float64) string {
 // RE computes the standardness (relative entropy) of a script against this
 // system's corpus. Lower is more standard.
 func (s *System) RE(sc *Script) float64 {
-	return s.std.Vocab.RE(buildGraph(sc))
+	return s.std.Corpus.Vocab.RE(buildGraph(sc))
 }
 
 // Improvement returns the paper's % improvement between two RE values.
