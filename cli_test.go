@@ -166,6 +166,47 @@ func TestLSStdCLI(t *testing.T) {
 	}
 }
 
+// TestLSStdCLIMaxSteps arms the resource governor from the command line
+// with a statement budget the input script itself cannot fit in, and
+// asserts the typed failure surfaces through the CLI.
+func TestLSStdCLIMaxSteps(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-max-steps", "2")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("lsstd succeeded with -max-steps 2 on a 3-statement script\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resource budget exhausted") {
+		t.Fatalf("stderr does not name the budget trip:\n%s", stderr.String())
+	}
+}
+
+// TestLSStdCLIMaxCells runs a governed standardization whose budgets are
+// ample: the search must behave exactly as ungoverned.
+func TestLSStdCLIMaxCells(t *testing.T) {
+	bin := buildCLIs(t)
+	_, csv, scriptPath, corpusDir := writeFixtures(t)
+	cmd := exec.Command(filepath.Join(bin, "lsstd"),
+		"-script", scriptPath, "-corpus", corpusDir, "-data", csv,
+		"-tau", "0.5", "-seq", "6", "-max-cells", "1000000")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("lsstd: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(string(out), "read_csv") {
+		t.Fatalf("output script missing load:\n%s", out)
+	}
+	if strings.Contains(stderr.String(), "degraded:") {
+		t.Fatalf("ample budgets reported degradation:\n%s", stderr.String())
+	}
+}
+
 func TestLSStdCLIModelMeasure(t *testing.T) {
 	bin := buildCLIs(t)
 	_, csv, scriptPath, corpusDir := writeFixtures(t)

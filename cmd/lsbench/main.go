@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lucidscript/internal/bench"
+	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
 )
 
@@ -32,6 +33,8 @@ func main() {
 		beam        = flag.Int("beam", 0, "override beam size (0 = default 3)")
 		datasets    = flag.String("datasets", "", "comma-separated dataset subset (default all six)")
 		execCache   = flag.String("execcache", "on", "execution-prefix cache: on or off")
+		maxCells    = flag.Int("max-cells", 0, "cap rows*cols of any value a candidate materializes (0 = governor off; setting this or -max-steps enables default budgets for the rest)")
+		maxSteps    = flag.Int("max-steps", 0, "cap statements per candidate execution (0 = governor off)")
 		batchWork   = flag.Int("batch-workers", 0, "worker pool size for the batch experiment (0 = GOMAXPROCS)")
 		jsonPath    = flag.String("json", "", "also write machine-readable results (batch experiment) to this JSON file")
 		quiet       = flag.Bool("q", false, "suppress progress output")
@@ -61,6 +64,16 @@ func main() {
 		DisableExecCache:  *execCache == "off",
 		BatchWorkers:      *batchWork,
 		JSONPath:          *jsonPath,
+	}
+	if *maxCells > 0 || *maxSteps > 0 {
+		limits := interp.DefaultLimits()
+		if *maxCells > 0 {
+			limits.MaxCells = *maxCells
+		}
+		if *maxSteps > 0 {
+			limits.MaxSteps = *maxSteps
+		}
+		opts.Limits = limits
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

@@ -67,6 +67,8 @@ func main() {
 		lintFreq    = flag.Float64("lint-freq", 0.1, "flag steps used by fewer than this fraction of corpus scripts")
 		seed        = flag.Int64("seed", 1, "random seed")
 		execCache   = flag.String("execcache", "on", "execution-prefix cache: on or off (results are identical either way)")
+		maxCells    = flag.Int("max-cells", 0, "cap rows*cols of any value a candidate materializes (0 = governor off; setting this or -max-steps enables default budgets for the rest)")
+		maxSteps    = flag.Int("max-steps", 0, "cap statements per candidate execution (0 = governor off)")
 		timeout     = flag.Duration("timeout", 0, "abort the search after this duration, keeping the best partial result (e.g. 30s; 0 = no limit)")
 		trace       = flag.Bool("trace", false, "stream structured search events to stderr")
 		metricsDump = flag.Bool("metrics-dump", false, "print search counters in Prometheus text format to stderr on exit")
@@ -120,6 +122,16 @@ func main() {
 		DisableExecCache: *execCache == "off",
 		Timeout:          *timeout,
 		BatchWorkers:     *batchWork,
+	}
+	if *maxCells > 0 || *maxSteps > 0 {
+		limits := lucidscript.DefaultExecLimits()
+		if *maxCells > 0 {
+			limits.MaxCells = *maxCells
+		}
+		if *maxSteps > 0 {
+			limits.MaxSteps = *maxSteps
+		}
+		opts.ExecLimits = limits
 	}
 	if *trace {
 		opts.Tracer = lucidscript.NewWriterTracer(os.Stderr)
@@ -208,6 +220,7 @@ func main() {
 			ec.Hits, ec.Misses, ec.Evictions, ec.StmtsExecuted, ec.StmtsSkipped,
 			ec.EstSavedTime.Round(time.Millisecond))
 	}
+	reportHealth("lsstd", res.Health)
 	fmt.Fprintf(os.Stderr, "time: %s total (%s search, %s verify)\n",
 		res.Timings.Total.Round(time.Millisecond),
 		(res.Timings.GetSteps + res.Timings.GetTopKBeams + res.Timings.CheckIfExecutes).Round(time.Millisecond),
@@ -262,6 +275,7 @@ func runBatch(ctx context.Context, sys *lucidscript.System, glob string, metrics
 		fmt.Print(res[i].Script.Source())
 		fmt.Fprintf(os.Stderr, "%s: RE %.3f -> %.3f (%.1f%% improvement), intent %.3f\n",
 			name, res[i].REBefore, res[i].REAfter, res[i].ImprovementPct, res[i].IntentValue)
+		reportHealth(name, res[i].Health)
 	}
 	fmt.Fprintf(os.Stderr, "batch: %d jobs in %s, %d failed\n",
 		len(jobs), time.Since(start).Round(time.Millisecond), failed)
@@ -269,6 +283,19 @@ func runBatch(ctx context.Context, sys *lucidscript.System, glob string, metrics
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// reportHealth notes on stderr how much containment a run needed; silent
+// for a fully healthy run.
+func reportHealth(name string, h lucidscript.Health) {
+	if !h.Degraded() {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: degraded: %d candidates quarantined (%d panics, %d budget trips), %d corpus scripts skipped, degraded verify: %v\n",
+		name, h.Total(),
+		h.Check.Panicked+h.Verify.Panicked, h.Check.Exhausted+h.Verify.Exhausted,
+		h.CurateSkipped, h.VerifyDegraded)
 }
 
 // dumpMetrics prints the collected counters to stderr when -metrics-dump

@@ -18,6 +18,7 @@ import (
 	"lucidscript/internal/entropy"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/intent"
+	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
 	"lucidscript/internal/script"
 )
@@ -41,6 +42,9 @@ type Options struct {
 	// DisableExecCache turns off the execution-prefix cache (the zero
 	// value keeps it on, matching core.DefaultConfig).
 	DisableExecCache bool
+	// Limits, when non-nil, installs the per-execution resource governor
+	// on every standardization the experiments run.
+	Limits *interp.Limits
 	// BatchWorkers bounds the worker pool of the "batch" experiment
 	// (default GOMAXPROCS).
 	BatchWorkers int
@@ -165,6 +169,7 @@ func lsConfig(opts Options, measure intent.Measure, tau float64, target string) 
 	cfg := core.DefaultConfig()
 	cfg.Seed = opts.Seed
 	cfg.ExecCache = !opts.DisableExecCache
+	cfg.Limits = opts.Limits
 	cfg.Tracer = opts.Tracer
 	cfg.Metrics = opts.Metrics
 	if opts.SeqLength > 0 {

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"lucidscript/internal/faults"
 	"lucidscript/internal/intent"
 	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
@@ -55,15 +57,24 @@ func (e *Engine) Workers() int { return e.workers }
 // ctx stops the whole batch (each unfinished job returns ErrCanceled, with
 // a partial result where one exists, mirroring StandardizeContext).
 func (e *Engine) StandardizeBatch(ctx context.Context, jobs []*script.Script) ([]*Result, []error) {
+	if len(jobs) == 0 {
+		return []*Result{}, []error{}
+	}
+	// One shared session cache serves the whole batch, with its node
+	// budget scaled to the job count; each job runs through its own view
+	// so per-Result cache stats stay job-local.
+	return e.standardizeBatchSession(ctx, e.std.newSessionScaled(len(jobs)), jobs)
+}
+
+// standardizeBatchSession is StandardizeBatch against a caller-supplied
+// shared cache (nil = uncached). Split out so chaos tests can own the
+// shared trie and check its invariants after the batch completes.
+func (e *Engine) standardizeBatchSession(ctx context.Context, shared *interp.SessionCache, jobs []*script.Script) ([]*Result, []error) {
 	results := make([]*Result, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
 		return results, errs
 	}
-	// One shared session cache serves the whole batch, with its node
-	// budget scaled to the job count; each job runs through its own view
-	// so per-Result cache stats stay job-local.
-	shared := e.std.newSessionScaled(len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.workers)
 	for i, su := range jobs {
@@ -84,9 +95,20 @@ func (e *Engine) StandardizeBatch(ctx context.Context, jobs []*script.Script) ([
 func (e *Engine) runJob(ctx context.Context, shared *interp.SessionCache, i int, su *script.Script) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("%w: job %d: %v", ErrJobPanicked, i, r)
+			// An error panic value stays in the chain (%w), so callers can
+			// reach the failing statement's position via errors.As on
+			// *interp.StmtError, and chaos tests can match
+			// faults.ErrInjected through the job wrapper.
+			if perr, ok := r.(error); ok {
+				res, err = nil, fmt.Errorf("%w: job %d: %w", ErrJobPanicked, i, perr)
+			} else {
+				res, err = nil, fmt.Errorf("%w: job %d: %v", ErrJobPanicked, i, r)
+			}
 		}
 	}()
+	if f := e.std.Config.Faults.Fire(faults.SiteBatchJob, strconv.Itoa(i)); f != nil {
+		return nil, fmt.Errorf("core: job %d: %w", i, f.Err)
+	}
 	if e.jobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.jobTimeout)

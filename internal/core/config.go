@@ -9,7 +9,9 @@ package core
 import (
 	"time"
 
+	"lucidscript/internal/faults"
 	"lucidscript/internal/intent"
+	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
 )
 
@@ -58,6 +60,16 @@ type Config struct {
 	// ExecCacheSize bounds the cache trie's node count; 0 means the
 	// interp.DefaultCacheSize default.
 	ExecCacheSize int
+	// Limits is the per-candidate resource governor applied to every
+	// interpreter run (early checks, verification, batch jobs). A candidate
+	// that trips a budget is quarantined — dropped and tallied in
+	// Result.Health — never allowed to abort the search. Nil disables the
+	// governor.
+	Limits *interp.Limits
+	// Faults is the deterministic chaos-injection hook threaded into the
+	// interpreter, exec cache, curation, and batch engine. Nil (the
+	// production default) reduces every injection site to a pointer check.
+	Faults *faults.Injector
 	// Constraint is the user-intent constraint (τ and measure).
 	Constraint intent.Constraint
 	// Tracer receives structured search events (see internal/obs); nil

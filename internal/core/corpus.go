@@ -1,12 +1,16 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lucidscript/internal/dag"
 	"lucidscript/internal/entropy"
+	"lucidscript/internal/faults"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/interp"
 	"lucidscript/internal/script"
@@ -27,6 +31,11 @@ type CuratedCorpus struct {
 	Sources map[string]*frame.Frame
 	// CurateTime records how long the offline phase took.
 	CurateTime time.Duration
+	// Diagnostics lists the corpus scripts curation skipped instead of
+	// aborting on: one entry per script whose lemmatization failed (or was
+	// chaos-injected to fail), with the contained cause. An empty slice is
+	// the healthy case.
+	Diagnostics []CurateDiagnostic
 
 	// sampled memoizes the MaxRows-sampled sources so the per-candidate
 	// path never pays the sampling loop (optimization 5 runs once, not once
@@ -58,17 +67,72 @@ func CurateCalls() int64 { return curateCalls.Load() }
 // votes, see Section 8); a script with weight w counts as w copies in the
 // corpus distribution. Nil weights or non-positive entries default to 1.
 func CurateWeighted(corpus []*script.Script, weights []int, sources map[string]*frame.Frame) *CuratedCorpus {
+	return CurateWeightedFaults(corpus, weights, sources, nil)
+}
+
+// ErrCurateSkipped marks a corpus script that curation dropped instead of
+// letting its failure abort the offline phase.
+var ErrCurateSkipped = errors.New("core: corpus script skipped during curation")
+
+// CurateDiagnostic records one corpus script curation skipped.
+type CurateDiagnostic struct {
+	// Index is the script's position in the submitted corpus.
+	Index int
+	// Err is the contained cause, wrapping ErrCurateSkipped (and the panic
+	// value or injected fault underneath).
+	Err error
+}
+
+// CurateWeightedFaults is CurateWeighted with graceful per-script
+// degradation and an optional chaos-injection hook: a script whose
+// lemmatization panics (or is injected to fail at faults.SiteCurateScript)
+// is skipped and recorded in Diagnostics — with its weight dropped
+// alongside it — instead of aborting the whole offline phase. The corpus
+// distribution is then built over the surviving scripts.
+func CurateWeightedFaults(corpus []*script.Script, weights []int, sources map[string]*frame.Frame, inj *faults.Injector) *CuratedCorpus {
 	curateCalls.Add(1)
 	start := time.Now()
-	graphs := make([]*dag.Graph, len(corpus))
+	graphs := make([]*dag.Graph, 0, len(corpus))
+	kept := weights
+	if weights != nil {
+		kept = make([]int, 0, len(weights))
+	}
+	var diags []CurateDiagnostic
 	for i, s := range corpus {
-		graphs[i] = dag.Build(s)
+		g, err := buildGraphIsolated(i, s, inj)
+		if err != nil {
+			diags = append(diags, CurateDiagnostic{Index: i, Err: err})
+			continue
+		}
+		graphs = append(graphs, g)
+		if weights != nil && i < len(weights) {
+			kept = append(kept, weights[i])
+		}
 	}
 	return &CuratedCorpus{
-		Vocab:      entropy.BuildVocabWeighted(graphs, weights),
-		Sources:    sources,
-		CurateTime: time.Since(start),
+		Vocab:       entropy.BuildVocabWeighted(graphs, kept),
+		Sources:     sources,
+		CurateTime:  time.Since(start),
+		Diagnostics: diags,
 	}
+}
+
+// buildGraphIsolated lemmatizes one corpus script with panic containment
+// and the curation chaos site armed.
+func buildGraphIsolated(i int, s *script.Script, inj *faults.Injector) (g *dag.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("%w: script %d: %w", ErrCurateSkipped, i, perr)
+			} else {
+				err = fmt.Errorf("%w: script %d: %v", ErrCurateSkipped, i, r)
+			}
+		}
+	}()
+	if f := inj.Fire(faults.SiteCurateScript, strconv.Itoa(i)); f != nil {
+		return nil, fmt.Errorf("%w: script %d: %w", ErrCurateSkipped, i, f.Err)
+	}
+	return dag.Build(s), nil
 }
 
 // ExecSources returns the sources every candidate executes against, with

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+
+	"lucidscript/internal/interp"
+)
+
+// classifyQuarantine reports whether an execution failure is a quarantine —
+// a contained panic or a resource-budget trip, as opposed to an ordinary
+// execution failure — and, when it is, whether the cause was a panic.
+func classifyQuarantine(err error) (quarantined, panicked bool) {
+	switch {
+	case errors.Is(err, interp.ErrStatementPanicked):
+		return true, true
+	case errors.Is(err, interp.ErrResourceExhausted):
+		return true, false
+	}
+	return false, false
+}
+
+// quarantineDetail names the quarantine cause for trace events.
+func quarantineDetail(panicked bool) string {
+	if panicked {
+		return "panic"
+	}
+	return "exhausted"
+}
+
+// PhaseHealth tallies candidate quarantines in one search phase. A
+// quarantine is stronger than an ordinary prune: the candidate was dropped
+// not because it merely failed to execute, but because the interpreter had
+// to contain a panic or cut off a resource-budget blowout. Panicked and
+// Exhausted partition Quarantined by cause.
+type PhaseHealth struct {
+	// Quarantined counts candidates dropped for panics or budget
+	// exhaustion (always Panicked + Exhausted).
+	Quarantined int
+	// Panicked counts candidates whose execution panicked and was
+	// contained (interp.ErrStatementPanicked).
+	Panicked int
+	// Exhausted counts candidates that tripped a resource budget
+	// (interp.ErrResourceExhausted).
+	Exhausted int
+}
+
+func (p *PhaseHealth) add(panicked bool) {
+	p.Quarantined++
+	if panicked {
+		p.Panicked++
+	} else {
+		p.Exhausted++
+	}
+}
+
+func (p *PhaseHealth) merge(q PhaseHealth) {
+	p.Quarantined += q.Quarantined
+	p.Panicked += q.Panicked
+	p.Exhausted += q.Exhausted
+}
+
+// Health reports how much containment one standardization needed: every
+// candidate the fault-isolation layer quarantined, per phase, plus the
+// degradations the run absorbed. A fully healthy run is the zero value.
+// Pathological candidates are expected in machine-generated search spaces,
+// so a non-zero Health is informational — the search completed and its
+// output is exactly the result of the same search without the quarantined
+// candidates.
+type Health struct {
+	// Check tallies quarantines during beam-extension early checks.
+	Check PhaseHealth
+	// Verify tallies quarantines during constraint verification.
+	Verify PhaseHealth
+	// CurateSkipped counts corpus scripts dropped during curation because
+	// they failed to lemmatize (see CuratedCorpus.Diagnostics for the
+	// per-script causes).
+	CurateSkipped int
+	// VerifyDegraded reports that at least one verification fell back to
+	// sampled-tuple mode because the candidate's full-data run exceeded its
+	// resource budget.
+	VerifyDegraded bool
+}
+
+// Total returns the number of quarantined candidates across all phases.
+func (h Health) Total() int {
+	return h.Check.Quarantined + h.Verify.Quarantined
+}
+
+// Degraded reports whether the run needed any containment at all:
+// quarantines, curation skips, or a degraded verification.
+func (h Health) Degraded() bool {
+	return h.Total() > 0 || h.CurateSkipped > 0 || h.VerifyDegraded
+}

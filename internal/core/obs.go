@@ -74,12 +74,14 @@ func (o *obsState) emitCacheDelta(sess interp.Session, step int) {
 // gridStats accumulates one StandardizeGrid call's counts for the metrics
 // registry.
 type gridStats struct {
-	execChecks   int  // interpreter runs (input + early checks + verify)
-	admitted     int  // candidates admitted into the archive
-	prunedChecks int  // candidates rejected by the early execution check
-	beamsPruned  int  // admitted candidates dropped by top-K selection
-	verified     int  // candidates examined by VerifyAllConstraints
-	canceled     bool // the search stopped on a context cancellation
+	execChecks     int    // interpreter runs (input + early checks + verify)
+	admitted       int    // candidates admitted into the archive
+	prunedChecks   int    // candidates rejected by the early execution check
+	beamsPruned    int    // admitted candidates dropped by top-K selection
+	verified       int    // candidates examined by VerifyAllConstraints
+	canceled       bool   // the search stopped on a context cancellation
+	health         Health // quarantines and curation skips, call-wide
+	verifyDegraded int    // grid cells that fell back to sampled-tuple mode
 }
 
 // finalize folds one completed (or canceled) standardization into the
@@ -98,6 +100,11 @@ func (o *obsState) finalize(res *Result, cacheStats interp.CacheStats, gs gridSt
 	m.Counter(obs.MCandidatesPruned).Add(int64(gs.prunedChecks))
 	m.Counter(obs.MBeamsPruned).Add(int64(gs.beamsPruned))
 	m.Counter(obs.MVerifications).Add(int64(gs.verified))
+	m.Counter(obs.MCandidatesQuarantined).Add(int64(gs.health.Total()))
+	m.Counter(obs.MStatementPanics).Add(int64(gs.health.Check.Panicked + gs.health.Verify.Panicked))
+	m.Counter(obs.MBudgetExhaustions).Add(int64(gs.health.Check.Exhausted + gs.health.Verify.Exhausted))
+	m.Counter(obs.MVerifyDegraded).Add(int64(gs.verifyDegraded))
+	m.Counter(obs.MCurateSkipped).Add(int64(gs.health.CurateSkipped))
 	m.Counter(obs.MStatementsExecuted).Add(cacheStats.StmtsExecuted)
 	m.Counter(obs.MStatementsSkipped).Add(cacheStats.StmtsSkipped)
 	m.Counter(obs.MCacheHits).Add(cacheStats.Hits)

@@ -65,7 +65,14 @@ func (st *Standardizer) newSessionScaled(n int) *interp.SessionCache {
 	if n > 1 {
 		size *= n
 	}
-	return interp.NewSessionCache(st.execSources(), interp.Options{Seed: st.Config.Seed}, size)
+	return interp.NewSessionCache(st.execSources(), st.interpOptions(), size)
+}
+
+// interpOptions is the one construction point for candidate-execution
+// options, so the resource governor and fault hook reach every interpreter
+// path (cached sessions, plain runs, early checks) identically.
+func (st *Standardizer) interpOptions() interp.Options {
+	return interp.Options{Seed: st.Config.Seed, Limits: st.Config.Limits, Faults: st.Config.Faults}
 }
 
 // runScript executes a candidate script through the shared session cache
@@ -75,7 +82,7 @@ func (st *Standardizer) runScript(ctx context.Context, sess interp.Session, s *s
 	if sess != nil {
 		return sess.RunContext(ctx, s)
 	}
-	return interp.RunContext(ctx, s, st.execSources(), interp.Options{Seed: st.Config.Seed})
+	return interp.RunContext(ctx, s, st.execSources(), st.interpOptions())
 }
 
 // checkScript is runScript for the execution constraint only.
@@ -83,7 +90,7 @@ func (st *Standardizer) checkScript(ctx context.Context, sess interp.Session, s 
 	if sess != nil {
 		return sess.CheckContext(ctx, s)
 	}
-	return interp.CheckExecutesContext(ctx, s, st.execSources(), interp.Options{Seed: st.Config.Seed})
+	return interp.CheckExecutesContext(ctx, s, st.execSources(), st.interpOptions())
 }
 
 // New curates the search space from corpus scripts (offline phase): each is
@@ -95,9 +102,11 @@ func New(corpus []*script.Script, sources map[string]*frame.Frame, cfg Config) *
 
 // NewWeighted is New with per-script corpus weights (e.g. Kaggle votes, see
 // Section 8); a script with weight w counts as w copies in the corpus
-// distribution. Nil weights or non-positive entries default to 1.
+// distribution. Nil weights or non-positive entries default to 1. Curation
+// degrades gracefully: a corpus script that fails to lemmatize is skipped
+// and recorded in the corpus Diagnostics rather than aborting.
 func NewWeighted(corpus []*script.Script, weights []int, sources map[string]*frame.Frame, cfg Config) *Standardizer {
-	return FromCorpus(CurateWeighted(corpus, weights, sources), cfg)
+	return FromCorpus(CurateWeightedFaults(corpus, weights, sources, cfg.Faults), cfg)
 }
 
 // FromCorpus binds an already-curated corpus to a configuration without
@@ -127,6 +136,12 @@ type Result struct {
 	// CacheStats reports the execution-prefix cache's effectiveness for the
 	// whole StandardizeGrid call (zero when Config.ExecCache is off).
 	CacheStats interp.CacheStats
+	// Health reports the containment the run needed: candidates quarantined
+	// for panics or budget exhaustion per phase, corpus scripts skipped
+	// during curation, and whether verification degraded to sampled-tuple
+	// mode. The zero value is a fully healthy run. Check-phase tallies are
+	// call-wide (the grid shares one search); Verify tallies are per cell.
+	Health Health
 }
 
 // Standardize runs Algorithm 1 on the input script.
@@ -200,6 +215,9 @@ func (st *Standardizer) standardizeGridSession(ctx context.Context, sess interp.
 	var gs gridStats
 	if o.enabled() {
 		o.emit(obs.Event{Kind: obs.EvCurateDone, Phase: obs.PhaseCurate, N: st.Corpus.Vocab.NumScripts, Dur: st.Corpus.CurateTime})
+		for _, d := range st.Corpus.Diagnostics {
+			o.emit(obs.Event{Kind: obs.EvCurateSkipped, Phase: obs.PhaseCurate, N: d.Index, Err: d.Err.Error()})
+		}
 	}
 
 	// Lemmatize the input and compute its baseline.
@@ -217,7 +235,9 @@ func (st *Standardizer) standardizeGridSession(ctx context.Context, sess interp.
 			o.emit(obs.Event{Kind: obs.EvCanceled, Phase: obs.PhaseCheck, Err: cerr.Error()})
 			return nil, cerr
 		}
-		return nil, fmt.Errorf("%w: %v", ErrInputScriptFails, err)
+		// %w keeps the cause chain intact so callers can reach the failing
+		// statement (*interp.StmtError) and the quarantine sentinels.
+		return nil, fmt.Errorf("%w: %w", ErrInputScriptFails, err)
 	}
 	if origRun.Main == nil {
 		return nil, fmt.Errorf("%w: script produces no dataset", ErrInputScriptFails)
@@ -273,6 +293,8 @@ func (st *Standardizer) standardizeGridSession(ctx context.Context, sess interp.
 	gs.execChecks += counter.ExecChecks
 	gs.admitted += counter.Admitted
 	gs.prunedChecks += counter.Pruned
+	gs.health.Check = counter.Health
+	gs.health.CurateSkipped = len(st.Corpus.Diagnostics)
 
 	// VerifyAllConstraints per grid cell, sharing candidate outputs and
 	// downstream-model accuracies across cells. A cancellation mid-search
@@ -293,6 +315,8 @@ func (st *Standardizer) standardizeGridSession(ctx context.Context, sess interp.
 		}
 		for ci, constraint := range constraints {
 			res := &Result{REBefore: orig.re, Timings: searchTimings, ExecChecks: searchChecks}
+			res.Health.Check = counter.Health
+			res.Health.CurateSkipped = len(st.Corpus.Diagnostics)
 			if o.enabled() {
 				o.emit(obs.Event{Kind: obs.EvVerifyStart, Phase: obs.PhaseVerify, N: len(eligible)})
 			}
@@ -300,6 +324,10 @@ func (st *Standardizer) standardizeGridSession(ctx context.Context, sess interp.
 			best, examined := st.verifyWith(ctx, o, sess, eligible, orig, constraint, cache, res)
 			gs.verified += examined
 			gs.execChecks += res.ExecChecks - searchChecks
+			gs.health.Verify.merge(res.Health.Verify)
+			if res.Health.VerifyDegraded {
+				gs.verifyDegraded++
+			}
 			res.Timings.VerifyConstraints = time.Since(t2)
 			res.Output = dag.ToScript(best.lines)
 			res.REAfter = best.re
@@ -353,6 +381,9 @@ type extendStats struct {
 	ExecChecks int
 	// Admitted and Pruned count candidates that passed/failed admission.
 	Admitted, Pruned int
+	// Health tallies the subset of prunes that were quarantines: contained
+	// panics and resource-budget trips.
+	Health PhaseHealth
 }
 
 func less(a, b *candidate) bool {
@@ -497,6 +528,7 @@ func (st *Standardizer) extendAllParallel(ctx context.Context, o *obsState, sess
 		counter.ExecChecks += perCounter[i].ExecChecks
 		counter.Admitted += perCounter[i].Admitted
 		counter.Pruned += perCounter[i].Pruned
+		counter.Health.merge(perCounter[i].Health)
 	}
 	return next
 }
@@ -543,7 +575,13 @@ func (st *Standardizer) extendBeams(ctx context.Context, o *obsState, sess inter
 			res.ExecChecks++
 			if err != nil {
 				res.Pruned++
-				if o.enabled() && ctx.Err() == nil {
+				if quarantined, panicked := classifyQuarantine(err); quarantined {
+					res.Health.add(panicked)
+					if o.enabled() && ctx.Err() == nil {
+						o.emit(obs.Event{Kind: obs.EvCandidateQuarantined, Phase: obs.PhaseCheck,
+							Detail: quarantineDetail(panicked), Dur: dur, Err: err.Error()})
+					}
+				} else if o.enabled() && ctx.Err() == nil {
 					o.emit(obs.Event{Kind: obs.EvCandidatePruned, Phase: obs.PhaseCheck, Detail: tr.String(), Dur: dur, Err: err.Error()})
 				}
 				continue
@@ -673,6 +711,26 @@ func (st *Standardizer) verifyWith(ctx context.Context, o *obsState, sess interp
 					// candidate un-cached so a later cell could still run it.
 					break
 				}
+				if quarantined, panicked := classifyQuarantine(err); quarantined {
+					res.Health.Verify.add(panicked)
+					if o.enabled() {
+						o.emit(obs.Event{Kind: obs.EvCandidateQuarantined, Phase: obs.PhaseVerify,
+							Detail: quarantineDetail(panicked), Dur: time.Since(t0), Err: err.Error()})
+					}
+					// A budget trip (not a panic) earns a second chance in
+					// sampled-tuple mode: the candidate may be fine on a
+					// bounded sample even when the full run is too expensive.
+					if !panicked {
+						verdict, ok, val := st.verifyDegraded(ctx, o, cand, orig, constraint)
+						if verdict {
+							res.Health.VerifyDegraded = true
+							if ok {
+								res.IntentValue = val
+								return cand, checked
+							}
+						}
+					}
+				}
 				cache.out[cand] = nil
 				continue
 			}
@@ -697,6 +755,39 @@ func (st *Standardizer) verifyWith(ctx context.Context, o *obsState, sess interp
 	}
 	res.IntentValue = identityIntent(constraint)
 	return orig, checked
+}
+
+// degradedSampleRows bounds the inputs of a sampled-tuple verification.
+const degradedSampleRows = 2000
+
+// verifyDegraded is the sampled-tuple fallback for a candidate whose
+// full-data verification run exceeded its resource budget: both the
+// original script and the candidate re-run uncached against sources sampled
+// down to degradedSampleRows, under the same governor, and the constraint
+// is evaluated on the sampled outputs directly (no memoization — the
+// sampled accuracies must not contaminate the full-data caches). Returns
+// whether a verdict was produced at all (false when even the sampled runs
+// fail), whether the constraint held, and the measured intent value.
+func (st *Standardizer) verifyDegraded(ctx context.Context, o *obsState, cand, orig *candidate, constraint intent.Constraint) (verdict, ok bool, val float64) {
+	srcs := interp.SampleSources(st.execSources(), degradedSampleRows, st.Config.Seed)
+	opts := st.interpOptions()
+	origRun, err := interp.RunContext(ctx, dag.ToScript(orig.lines), srcs, opts)
+	if err != nil || origRun.Main == nil {
+		return false, false, 0
+	}
+	candRun, err := interp.RunContext(ctx, dag.ToScript(cand.lines), srcs, opts)
+	if err != nil || candRun.Main == nil {
+		return false, false, 0
+	}
+	ok, val, err = constraint.Satisfied(origRun.Main, candRun.Main)
+	if err != nil {
+		return false, false, 0
+	}
+	if o.enabled() {
+		o.emit(obs.Event{Kind: obs.EvVerifyDegraded, Phase: obs.PhaseVerify, N: degradedSampleRows,
+			Detail: fmt.Sprintf("intent=%.3f ok=%v", val, ok)})
+	}
+	return true, ok, val
 }
 
 // identityIntent is the intent value of returning the input unchanged.

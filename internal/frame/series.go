@@ -120,6 +120,17 @@ func (s *Series) Kind() Kind { return s.kind }
 // Len returns the number of rows.
 func (s *Series) Len() int { return len(s.valid) }
 
+// StringBytes returns the total byte length of the stored string values.
+// Non-string series hold no string payload and report 0. The interpreter's
+// resource governor uses this to bound runaway string growth.
+func (s *Series) StringBytes() int {
+	var n int
+	for _, v := range s.ss {
+		n += len(v)
+	}
+	return n
+}
+
 // Rename returns a shallow copy of the series under a new name.
 func (s *Series) Rename(name string) *Series {
 	c := *s

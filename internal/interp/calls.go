@@ -50,7 +50,24 @@ func (c *call) stringArg(i int) (string, error) {
 	return s, nil
 }
 
+// evalCall dispatches the call, then runs the materialized result through
+// the resource governor: method calls are where frames blow up (get_dummies
+// column explosions, merges, concats), so every call result is budgeted
+// even in expression position.
 func (e *Env) evalCall(x *script.CallExpr) (Value, error) {
+	v, err := e.evalCallDispatch(x)
+	if err != nil {
+		return nil, err
+	}
+	if e.limits != nil {
+		if err := e.checkValue(v); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+func (e *Env) evalCallDispatch(x *script.CallExpr) (Value, error) {
 	fnV, err := e.eval(x.Fn)
 	if err != nil {
 		return nil, err
@@ -470,6 +487,11 @@ func (e *Env) callDF(df *DF, name string, c *call) (Value, error) {
 		if k > rows {
 			k = rows
 		}
+		if k < 0 {
+			// pandas raises on negative n; clamping to the empty sample keeps
+			// generated candidates executable instead of panicking on perm[:k].
+			k = 0
+		}
 		perm := e.rng.Perm(rows)
 		pos := append([]int(nil), perm[:k]...)
 		sortInts(pos)
@@ -484,6 +506,11 @@ func (e *Env) callDF(df *DF, name string, c *call) (Value, error) {
 		k := int(n)
 		if k > df.F.NumRows() {
 			k = df.F.NumRows()
+		}
+		if k < 0 {
+			// head(-n) in pandas drops the last n rows; the subset semantics
+			// here clamp to empty rather than panic on a negative make().
+			k = 0
 		}
 		pos := make([]int, k)
 		for i := range pos {

@@ -1,0 +1,73 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"lucidscript/internal/frame"
+	"lucidscript/internal/gen"
+	"lucidscript/internal/script"
+)
+
+// FuzzInterpRun throws arbitrary scripts at arbitrary CSV inputs and asserts
+// the interpreter's containment guarantees: no statement panic ever escapes
+// (the per-statement recover turns real panics into ErrStatementPanicked,
+// which — with no fault injector installed — can only mean an interpreter
+// bug, so it fails the fuzz run), and the prefix cache stays byte-identical
+// to plain execution on whatever the fuzzer invents.
+//
+// The seed corpus mixes internal/gen's always-valid generated scripts with
+// handwritten edge cases that used to panic (negative head/sample sizes)
+// plus empty-frame and divide-by-zero shapes.
+func FuzzInterpRun(f *testing.F) {
+	g := gen.New(11)
+	csv := g.Frame(12).CSVString()
+	for i := 0; i < 6; i++ {
+		f.Add(g.ScriptSource(), csv, int64(i+1))
+	}
+	edge := []string{
+		"import pandas as pd\ndf = pd.read_csv(\"data.csv\")\ndf = df.head(-1)\n",
+		"import pandas as pd\ndf = pd.read_csv(\"data.csv\")\ndf = df.sample(-5)\n",
+		"import pandas as pd\ndf = pd.read_csv(\"data.csv\")\nx = 1 / 0\n",
+		"import pandas as pd\ndf = pd.read_csv(\"data.csv\")\ndf = df.head(0)\nm = df[\"Age\"].mean()\n",
+		"import pandas as pd\ndf = pd.read_csv(\"data.csv\")\ndf = pd.get_dummies(df)\n",
+	}
+	for _, src := range edge {
+		f.Add(src, csv, int64(7))
+		f.Add(src, "A\n", int64(7))
+	}
+	f.Fuzz(func(t *testing.T, src, csvText string, seed int64) {
+		s, err := script.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		frm, err := frame.ReadCSVString(csvText)
+		if err != nil {
+			t.Skip()
+		}
+		sources := map[string]*frame.Frame{gen.SourceFile: frm, "train.csv": frm}
+		// Tight budgets keep pathological fuzz inputs cheap; a budget trip is
+		// a normal governed outcome, not a finding.
+		opts := Options{Seed: seed, Limits: &Limits{
+			MaxCells: 200_000, MaxRows: 50_000, MaxCols: 500,
+			MaxStringBytes: 1 << 20, MaxSteps: 200,
+		}}
+		plain, plainErr := Run(s, sources, opts)
+		if errors.Is(plainErr, ErrStatementPanicked) {
+			t.Fatalf("interpreter panic contained but real: %v", plainErr)
+		}
+		if plainErr != nil {
+			var se *StmtError
+			if !errors.As(plainErr, &se) {
+				t.Fatalf("run error %v is not a *StmtError", plainErr)
+			}
+		}
+		// Differential check: the prefix cache must agree exactly.
+		cache := NewSessionCache(sources, opts, 0)
+		cached, cachedErr := cache.Run(s)
+		assertSameResult(t, "fuzz cache-vs-plain", plain, plainErr, cached, cachedErr)
+		if err := cache.CheckInvariants(); err != nil {
+			t.Fatalf("trie invariants: %v", err)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"lucidscript/internal/faults"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/script"
 )
@@ -20,6 +21,11 @@ type Env struct {
 	dfOrder []string
 	rsrc    *replaySource
 	rng     *rand.Rand
+	// limits is the resource governor; nil disables every check.
+	limits *Limits
+	// faults is the chaos-injection hook; nil (the production default)
+	// makes each site a single pointer comparison.
+	faults *faults.Injector
 }
 
 // replaySource is a rand.Source whose exact state can be reconstructed: it
@@ -55,13 +61,15 @@ func (r *replaySource) fork() *replaySource {
 }
 
 // newEnv builds a fresh environment over already-sampled sources.
-func newEnv(sources map[string]*frame.Frame, seed int64) *Env {
+func newEnv(sources map[string]*frame.Frame, seed int64, limits *Limits, inj *faults.Injector) *Env {
 	rsrc := newReplaySource(seed)
 	return &Env{
 		sources: sources,
 		vars:    map[string]Value{},
 		rsrc:    rsrc,
 		rng:     rand.New(rsrc),
+		limits:  limits,
+		faults:  inj,
 	}
 }
 
@@ -84,6 +92,8 @@ func (e *Env) fork() *Env {
 		dfOrder: append([]string(nil), e.dfOrder...),
 		rsrc:    rsrc,
 		rng:     rand.New(rsrc),
+		limits:  e.limits,
+		faults:  e.faults,
 	}
 }
 
@@ -108,6 +118,11 @@ type Options struct {
 	// MaxRows, when positive, samples each source frame down to at most
 	// MaxRows rows before execution (the paper's optimization 5).
 	MaxRows int
+	// Limits is the per-run resource governor; nil disables it.
+	Limits *Limits
+	// Faults is the deterministic chaos-injection hook; nil (the
+	// production default) makes every injection site a pointer check.
+	Faults *faults.Injector
 }
 
 // SampleSources applies the MaxRows input-sampling optimization once: every
@@ -138,18 +153,24 @@ func Run(s *script.Script, sources map[string]*frame.Frame, opts Options) (*Resu
 
 // RunContext is Run with statement-granularity cancellation: the context is
 // checked before every statement, so a deadline or cancellation aborts the
-// run promptly with an error wrapping ctx.Err().
+// run promptly with an error wrapping ctx.Err(). Statement failures —
+// including contained panics (ErrStatementPanicked) and budget violations
+// (ErrResourceExhausted) — surface as *StmtError carrying the line and
+// statement text.
 func RunContext(ctx context.Context, s *script.Script, sources map[string]*frame.Frame, opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	env := newEnv(SampleSources(sources, opts.MaxRows, opts.Seed), opts.Seed)
+	env := newEnv(SampleSources(sources, opts.MaxRows, opts.Seed), opts.Seed, opts.Limits, opts.Faults)
 	for i, st := range s.Stmts {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("interp: canceled before line %d (%s): %w", i+1, st.Source(), err)
 		}
-		if err := env.exec(st); err != nil {
-			return nil, fmt.Errorf("interp: line %d (%s): %w", i+1, st.Source(), err)
+		if err := opts.Limits.checkStep(i); err != nil {
+			return nil, &StmtError{Line: i + 1, Stmt: st.Source(), Err: err}
+		}
+		if err := env.execGoverned(faults.SiteInterpExec, st); err != nil {
+			return nil, &StmtError{Line: i + 1, Stmt: st.Source(), Err: err}
 		}
 	}
 	return env.result(), nil
@@ -226,6 +247,9 @@ func (e *Env) execAssign(s *script.AssignStmt) error {
 	if err != nil {
 		return err
 	}
+	if err := e.checkValue(val); err != nil {
+		return err
+	}
 	switch tgt := s.Target.(type) {
 	case *script.Ident:
 		e.vars[tgt.Name] = val
@@ -273,6 +297,11 @@ func (e *Env) assignIndexed(tgt *script.IndexExpr, val Value) error {
 	nf, err := df.F.WithColumn(series)
 	if err != nil {
 		return err
+	}
+	if e.limits != nil {
+		if err := e.limits.checkFrame(nf); err != nil {
+			return err
+		}
 	}
 	e.rebind(tgt.X, &DF{F: nf, Index: df.Index})
 	return nil
@@ -381,6 +410,11 @@ func (e *Env) assignLoc(attr *script.AttrExpr, index script.Expr, val Value) err
 	nf, err := df.F.WithColumn(conv)
 	if err != nil {
 		return err
+	}
+	if e.limits != nil {
+		if err := e.limits.checkFrame(nf); err != nil {
+			return err
+		}
 	}
 	e.rebind(attr.X, &DF{F: nf, Index: df.Index})
 	return nil

@@ -1,0 +1,188 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"lucidscript/internal/faults"
+	"lucidscript/internal/frame"
+	"lucidscript/internal/script"
+)
+
+// ErrResourceExhausted reports that a run tripped one of its Limits budgets.
+// The search layer treats it as a quarantine signal: the candidate is
+// dropped and tallied, never allowed to abort the surrounding search.
+var ErrResourceExhausted = errors.New("interp: resource budget exhausted")
+
+// ErrStatementPanicked reports that a statement panicked and the panic was
+// contained by the per-statement recover. Like ErrResourceExhausted it is a
+// quarantine signal: deterministic execution means the same statement would
+// panic again, so the candidate is dropped rather than retried.
+var ErrStatementPanicked = errors.New("interp: statement panicked")
+
+// StmtError attaches the script position to a statement failure: the
+// 1-based line, the statement source text, and the underlying cause.
+// Every error surfaced by Run/RunContext and SessionCache execution is a
+// *StmtError, so callers can recover the failing statement with errors.As
+// and classify the cause with errors.Is (ErrResourceExhausted,
+// ErrStatementPanicked, context.Canceled, faults.ErrInjected, ...).
+type StmtError struct {
+	// Line is the 1-based statement position in the script.
+	Line int
+	// Stmt is the statement's source text.
+	Stmt string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *StmtError) Error() string {
+	return fmt.Sprintf("interp: line %d (%s): %v", e.Line, e.Stmt, e.Err)
+}
+
+func (e *StmtError) Unwrap() error { return e.Err }
+
+// Limits is the per-run resource governor: budgets on what any single
+// statement may materialize and on how many statements a run may execute.
+// The zero value of any field means unlimited; a nil *Limits disables the
+// governor entirely (the checks reduce to one pointer comparison, keeping
+// the no-limits path benchmark-neutral).
+//
+// Cell/row/column/string budgets are enforced per materialized value — at
+// call results, assigned values, and rebound frames — not cumulatively
+// across the run. Per-value enforcement is what keeps cached and uncached
+// execution byte-identical: the prefix cache skips statements it has seen,
+// so any budget that accumulated across executed statements would depend on
+// cache state. MaxSteps is cumulative but counts the statement index, which
+// is identical whether or not a prefix came from the cache.
+type Limits struct {
+	// MaxCells bounds rows × columns of any materialized frame.
+	MaxCells int
+	// MaxRows bounds the rows of any materialized frame or series.
+	MaxRows int
+	// MaxCols bounds the columns of any materialized frame (the
+	// get_dummies explosion vector).
+	MaxCols int
+	// MaxStringBytes bounds the total string payload of any materialized
+	// frame, series, or scalar string (the runaway-concat vector).
+	MaxStringBytes int
+	// MaxSteps bounds how many statements a single run may execute.
+	MaxSteps int
+}
+
+// DefaultLimits returns budgets generous enough for every legitimate
+// corpus or candidate script while still catching pathological blowups
+// well before they threaten the process.
+func DefaultLimits() *Limits {
+	return &Limits{
+		MaxCells:       50_000_000,
+		MaxRows:        10_000_000,
+		MaxCols:        10_000,
+		MaxStringBytes: 1 << 30, // 1 GiB
+		MaxSteps:       10_000,
+	}
+}
+
+func exhausted(what string, got, max int) error {
+	return fmt.Errorf("%w: %s %d exceeds limit %d", ErrResourceExhausted, what, got, max)
+}
+
+// checkFrame enforces the materialization budgets on one frame.
+func (l *Limits) checkFrame(f *frame.Frame) error {
+	if l == nil || f == nil {
+		return nil
+	}
+	rows, cols := f.NumRows(), f.NumCols()
+	if l.MaxRows > 0 && rows > l.MaxRows {
+		return exhausted("rows", rows, l.MaxRows)
+	}
+	if l.MaxCols > 0 && cols > l.MaxCols {
+		return exhausted("columns", cols, l.MaxCols)
+	}
+	if l.MaxCells > 0 && rows*cols > l.MaxCells {
+		return exhausted("cells", rows*cols, l.MaxCells)
+	}
+	if l.MaxStringBytes > 0 {
+		var bytes int
+		for i := 0; i < cols; i++ {
+			bytes += f.ColumnAt(i).StringBytes()
+			if bytes > l.MaxStringBytes {
+				return exhausted("string bytes", bytes, l.MaxStringBytes)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSeries enforces the materialization budgets on one series.
+func (l *Limits) checkSeries(s *frame.Series) error {
+	if l == nil || s == nil {
+		return nil
+	}
+	if l.MaxRows > 0 && s.Len() > l.MaxRows {
+		return exhausted("rows", s.Len(), l.MaxRows)
+	}
+	if l.MaxCells > 0 && s.Len() > l.MaxCells {
+		return exhausted("cells", s.Len(), l.MaxCells)
+	}
+	if l.MaxStringBytes > 0 {
+		if bytes := s.StringBytes(); bytes > l.MaxStringBytes {
+			return exhausted("string bytes", bytes, l.MaxStringBytes)
+		}
+	}
+	return nil
+}
+
+// checkValue enforces the budgets on any value a statement materializes.
+// Non-container values (numbers, bools, masks, modules, ...) are free.
+func (e *Env) checkValue(v Value) error {
+	if e.limits == nil {
+		return nil
+	}
+	switch val := v.(type) {
+	case *DF:
+		return e.limits.checkFrame(val.F)
+	case *frame.Series:
+		return e.limits.checkSeries(val)
+	case string:
+		if e.limits.MaxStringBytes > 0 && len(val) > e.limits.MaxStringBytes {
+			return exhausted("string bytes", len(val), e.limits.MaxStringBytes)
+		}
+	}
+	return nil
+}
+
+// checkStep enforces MaxSteps against the 0-based statement index. It is
+// keyed on position, not on executed-statement count, so a run through the
+// prefix cache (which skips cached statements) fails at exactly the same
+// statement as an uncached run.
+func (l *Limits) checkStep(i int) error {
+	if l == nil || l.MaxSteps <= 0 || i < l.MaxSteps {
+		return nil
+	}
+	return exhausted("statement steps", i+1, l.MaxSteps)
+}
+
+// execGoverned runs one statement under the fault-isolation envelope: the
+// injector's site hook fires first (keyed by statement text), the statement
+// executes with panics contained to a typed error, and limit violations
+// surface as ErrResourceExhausted. This is the single execution entry used
+// by both the plain run loop and the session-cache miss path, so governed
+// semantics are identical with and without the cache.
+func (e *Env) execGoverned(site string, st script.Stmt) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("%w: %w", ErrStatementPanicked, perr)
+			} else {
+				err = fmt.Errorf("%w: %v", ErrStatementPanicked, r)
+			}
+		}
+	}()
+	if f := e.faults.Fire(site, st.Source()); f != nil {
+		if f.Kind == faults.KindExhaust {
+			return fmt.Errorf("%w: %w", ErrResourceExhausted, f.Err)
+		}
+		return f.Err
+	}
+	return e.exec(st)
+}

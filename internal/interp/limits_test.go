@@ -1,0 +1,253 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lucidscript/internal/faults"
+	"lucidscript/internal/script"
+)
+
+func mustParse(t *testing.T, src string) *script.Script {
+	t.Helper()
+	s, err := script.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s
+}
+
+// wantExhaustedAt runs the script and asserts it fails with
+// ErrResourceExhausted as a *StmtError at the given 1-based line.
+func wantExhaustedAt(t *testing.T, s *script.Script, opts Options, line int) {
+	t.Helper()
+	_, err := Run(s, titanicSources(t), opts)
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted", err)
+	}
+	var se *StmtError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v is not a *StmtError", err)
+	}
+	if se.Line != line {
+		t.Fatalf("failed at line %d (%s), want line %d", se.Line, se.Stmt, line)
+	}
+}
+
+func TestMaxColsQuarantinesGetDummies(t *testing.T) {
+	s := mustParse(t, "import pandas as pd\n"+
+		`df = pd.read_csv("train.csv")`+"\n"+
+		`df = pd.get_dummies(df)`+"\n")
+	// The fixture explodes well past 6 columns under get_dummies.
+	wantExhaustedAt(t, s, Options{Seed: 7, Limits: &Limits{MaxCols: 6}}, 3)
+	// Generous budget: same script runs clean.
+	if _, err := Run(s, titanicSources(t), Options{Seed: 7, Limits: DefaultLimits()}); err != nil {
+		t.Fatalf("default limits rejected a healthy script: %v", err)
+	}
+}
+
+func TestMaxRowsAndCellsBudgets(t *testing.T) {
+	s := mustParse(t, "import pandas as pd\n"+
+		`df = pd.read_csv("train.csv")`+"\n")
+	wantExhaustedAt(t, s, Options{Seed: 7, Limits: &Limits{MaxRows: 3}}, 2)
+	wantExhaustedAt(t, s, Options{Seed: 7, Limits: &Limits{MaxCells: 10}}, 2)
+}
+
+func TestMaxStringBytesBudget(t *testing.T) {
+	// The fixture's Sex+Embarked columns carry well over 16 bytes of string
+	// payload, so materializing the frame itself trips the budget.
+	src := "import pandas as pd\n" +
+		`df = pd.read_csv("train.csv")` + "\n"
+	s := mustParse(t, src)
+	wantExhaustedAt(t, s, Options{Seed: 7, Limits: &Limits{MaxStringBytes: 16}}, 2)
+	// Scalar strings are budgeted too.
+	s2 := mustParse(t, `x = "0123456789abcdef-overflow"`+"\n")
+	wantExhaustedAt(t, s2, Options{Seed: 7, Limits: &Limits{MaxStringBytes: 16}}, 1)
+}
+
+// MaxSteps is positional: a run through a warm prefix cache must fail at
+// exactly the same statement as an uncached run, because the check counts
+// the statement index, not executed (non-cached) statements.
+func TestMaxStepsPositionalAndCacheIndependent(t *testing.T) {
+	src := "import pandas as pd\n" +
+		`df = pd.read_csv("train.csv")` + "\n" +
+		`df = df.dropna()` + "\n" +
+		`df = df.head(3)` + "\n"
+	s := mustParse(t, src)
+	sources := titanicSources(t)
+	opts := Options{Seed: 7, Limits: &Limits{MaxSteps: 3}}
+
+	_, plainErr := Run(s, sources, opts)
+	if !errors.Is(plainErr, ErrResourceExhausted) {
+		t.Fatalf("plain err = %v, want ErrResourceExhausted", plainErr)
+	}
+	var se *StmtError
+	if !errors.As(plainErr, &se) || se.Line != 4 {
+		t.Fatalf("plain run failed at %v, want line 4", plainErr)
+	}
+
+	cache := NewSessionCache(sources, opts, 0)
+	// Warm the full prefix with a script under the step budget.
+	warm := mustParse(t, "import pandas as pd\n"+
+		`df = pd.read_csv("train.csv")`+"\n"+
+		`df = df.dropna()`+"\n")
+	if _, err := cache.Run(warm); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	_, cachedErr := cache.Run(s)
+	if cachedErr == nil || plainErr.Error() != cachedErr.Error() {
+		t.Fatalf("cache-on error mismatch\nplain:  %v\ncached: %v", plainErr, cachedErr)
+	}
+}
+
+func TestStatementPanicContained(t *testing.T) {
+	inj := faults.New(1, faults.Rule{
+		Site: faults.SiteInterpExec, Key: "df = df.dropna()", Kind: faults.KindPanic, Prob: 1,
+	})
+	s := mustParse(t, "import pandas as pd\n"+
+		`df = pd.read_csv("train.csv")`+"\n"+
+		`df = df.dropna()`+"\n")
+	_, err := Run(s, titanicSources(t), Options{Seed: 7, Faults: inj})
+	if !errors.Is(err, ErrStatementPanicked) {
+		t.Fatalf("err = %v, want ErrStatementPanicked", err)
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, should still wrap faults.ErrInjected through the panic", err)
+	}
+	var se *StmtError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v is not a *StmtError", err)
+	}
+	if se.Line != 3 || se.Stmt != "df = df.dropna()" {
+		t.Fatalf("position = line %d (%s), want line 3 (df = df.dropna())", se.Line, se.Stmt)
+	}
+}
+
+func TestStmtErrorFormatMatchesHistoricalText(t *testing.T) {
+	s := mustParse(t, "import pandas as pd\n"+
+		`df = pd.read_csv("nope.csv")`+"\n")
+	_, err := Run(s, titanicSources(t), Options{Seed: 7})
+	if err == nil {
+		t.Fatal("expected missing-source error")
+	}
+	want := `interp: line 2 (df = pd.read_csv("nope.csv")): `
+	if !strings.HasPrefix(err.Error(), want) {
+		t.Fatalf("error %q does not keep the historical %q prefix", err, want)
+	}
+	var se *StmtError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v is not a *StmtError", err)
+	}
+}
+
+// An injected fault must never enter the trie: the faulted statement leaves
+// no node behind, the invariant checker passes, and the un-faulted prefix
+// stays reusable by later scripts.
+func TestInjectedFaultNeverPoisonsTrie(t *testing.T) {
+	for _, kind := range []faults.Kind{faults.KindError, faults.KindPanic, faults.KindExhaust} {
+		t.Run(kind.String(), func(t *testing.T) {
+			inj := faults.New(1, faults.Rule{
+				Site: faults.SiteCacheStep, Key: "df = df.dropna()", Kind: kind, Prob: 1,
+			})
+			sources := titanicSources(t)
+			opts := Options{Seed: 7, Faults: inj}
+			cache := NewSessionCache(sources, opts, 0)
+			bad := mustParse(t, "import pandas as pd\n"+
+				`df = pd.read_csv("train.csv")`+"\n"+
+				`df = df.dropna()`+"\n")
+			_, err := cache.Run(bad)
+			if !errors.Is(err, faults.ErrInjected) {
+				t.Fatalf("err = %v, want wrapped faults.ErrInjected", err)
+			}
+			if err := cache.CheckInvariants(); err != nil {
+				t.Fatalf("trie invariants violated after injected %s: %v", kind, err)
+			}
+			// The shared prefix (import + read_csv) must still be cached and
+			// clean: a sibling script reuses it and succeeds.
+			good := mustParse(t, "import pandas as pd\n"+
+				`df = pd.read_csv("train.csv")`+"\n"+
+				`df = df.head(3)`+"\n")
+			res, err := cache.Run(good)
+			if err != nil {
+				t.Fatalf("sibling script failed after injected fault: %v", err)
+			}
+			if res.Main == nil || res.Main.NumRows() != 3 {
+				t.Fatalf("sibling result corrupted: %+v", res.Main)
+			}
+			st := cache.Stats()
+			if st.Hits < 2 {
+				t.Fatalf("sibling did not reuse the prefix (hits=%d)", st.Hits)
+			}
+		})
+	}
+}
+
+// A genuine (non-injected) failure IS cached: re-running the failing script
+// hits the error node instead of re-executing, and the error is identical.
+func TestGenuineFailureIsCachedDeterministically(t *testing.T) {
+	sources := titanicSources(t)
+	opts := Options{Seed: 7, Limits: &Limits{MaxCols: 6}}
+	cache := NewSessionCache(sources, opts, 0)
+	s := mustParse(t, "import pandas as pd\n"+
+		`df = pd.read_csv("train.csv")`+"\n"+
+		`df = pd.get_dummies(df)`+"\n")
+	_, err1 := cache.Run(s)
+	if !errors.Is(err1, ErrResourceExhausted) {
+		t.Fatalf("first run err = %v, want ErrResourceExhausted", err1)
+	}
+	miss1 := cache.Stats().Misses
+	_, err2 := cache.Run(s)
+	if err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("cached failure mismatch:\nfirst:  %v\nsecond: %v", err1, err2)
+	}
+	if got := cache.Stats().Misses; got != miss1 {
+		t.Fatalf("second run re-executed (misses %d -> %d); want pure hits", miss1, got)
+	}
+	if err := cache.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadAndSampleClampNegative(t *testing.T) {
+	for _, stmt := range []string{"df = df.head(-3)", "df = df.sample(-1)"} {
+		s := mustParse(t, "import pandas as pd\n"+
+			`df = pd.read_csv("train.csv")`+"\n"+stmt+"\n")
+		res, err := Run(s, titanicSources(t), Options{Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+		if res.Main == nil || res.Main.NumRows() != 0 {
+			t.Fatalf("%s: want empty frame, got %v rows", stmt, res.Main.NumRows())
+		}
+	}
+}
+
+// Governed execution must be byte-identical between cache-on and cache-off
+// for clean scripts under limits, including the RunContext cancellation path.
+func TestLimitsPreserveCacheEquivalence(t *testing.T) {
+	sources := titanicSources(t)
+	opts := Options{Seed: 5, Limits: DefaultLimits()}
+	pool := propScripts(t)
+	cache := NewSessionCache(sources, opts, 0)
+	for i, s := range pool {
+		plain, plainErr := Run(s, sources, opts)
+		cached, cachedErr := cache.Run(s)
+		assertSameResult(t, fmt.Sprintf("script %d under limits", i), plain, plainErr, cached, cachedErr)
+	}
+	if err := cache.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation before any statement still reports position without
+	// touching the trie.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cache.RunContext(ctx, pool[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := cache.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

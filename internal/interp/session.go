@@ -2,11 +2,13 @@ package interp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"lucidscript/internal/faults"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/script"
 )
@@ -75,6 +77,10 @@ type SessionCache struct {
 	nodes    int
 	clock    int64
 	stats    CacheStats
+	// limits mirrors the root environment's governor for the per-run
+	// MaxSteps check (which is positional, not per-statement, and so
+	// cannot live inside exec).
+	limits *Limits
 }
 
 // DefaultCacheSize bounds the trie when the caller passes maxNodes <= 0.
@@ -91,8 +97,9 @@ func NewSessionCache(sources map[string]*frame.Frame, opts Options, maxNodes int
 	}
 	srcs := SampleSources(sources, opts.MaxRows, opts.Seed)
 	return &SessionCache{
-		root:     &trieNode{env: newEnv(srcs, opts.Seed)},
+		root:     &trieNode{env: newEnv(srcs, opts.Seed, opts.Limits, opts.Faults)},
 		maxNodes: maxNodes,
+		limits:   opts.Limits,
 	}
 }
 
@@ -120,6 +127,9 @@ func (c *SessionCache) runContext(ctx context.Context, s *script.Script, view *C
 	for i, st := range s.Stmts {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("interp: canceled before line %d (%s): %w", i+1, st.Source(), err)
+		}
+		if err := c.limits.checkStep(i); err != nil {
+			return nil, &StmtError{Line: i + 1, Stmt: st.Source(), Err: err}
 		}
 		next, delta, err := c.step(node, i, st)
 		if view != nil {
@@ -180,13 +190,26 @@ func (c *SessionCache) step(node *trieNode, line int, st script.Stmt) (*trieNode
 	c.mu.Unlock()
 
 	start := time.Now()
-	execErr := env.exec(st)
+	execErr := env.execGoverned(faults.SiteCacheStep, st)
 	elapsed := time.Since(start)
 	if execErr != nil {
-		execErr = fmt.Errorf("interp: line %d (%s): %w", line+1, key, execErr)
+		execErr = &StmtError{Line: line + 1, Stmt: key, Err: execErr}
 		env = nil
 	}
 	delta := CacheStats{Misses: 1, StmtsExecuted: 1, ExecTime: elapsed}
+
+	// An injected fault must never be memoized: unlike a genuine failure it
+	// is not a property of the statement, so caching it would poison the
+	// prefix for every later candidate (the same rule that keeps context
+	// cancellations out of the trie). Genuine panics and budget violations
+	// ARE cached — execution is deterministic, so the statement would fail
+	// identically on every re-run.
+	if execErr != nil && errors.Is(execErr, faults.ErrInjected) {
+		c.mu.Lock()
+		c.stats.ExecTime += elapsed
+		c.mu.Unlock()
+		return nil, delta, execErr
+	}
 
 	c.mu.Lock()
 	c.stats.ExecTime += elapsed
@@ -277,6 +300,59 @@ func (c *SessionCache) evictLocked() {
 		}
 		// Evicting leaves can expose new leaves; loop until at target.
 	}
+}
+
+// CheckInvariants walks the whole trie under the cache lock and verifies
+// the structural invariants every operation must preserve:
+//
+//  1. every node holds an environment XOR an error — a fully executed
+//     statement or a genuine deterministic failure, never both or neither;
+//  2. no cached error is a context cancellation or an injected fault
+//     (aborted runs and chaos injections must never poison the trie);
+//  3. parent/key links are consistent and the node-count bookkeeping
+//     matches the walked trie and respects the configured cap.
+//
+// It returns the first violation found, or nil. Chaos and property tests
+// call it after hammering a shared cache; it is exported (rather than
+// test-local) so tests in other packages can assert the same invariants.
+func (c *SessionCache) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	walked := 0
+	var walk func(n *trieNode) error
+	walk = func(n *trieNode) error {
+		if n != c.root {
+			walked++
+			if (n.env == nil) == (n.err == nil) {
+				return fmt.Errorf("node %q: env=%v err=%v, want exactly one", n.key, n.env != nil, n.err)
+			}
+			if n.err != nil && (errors.Is(n.err, context.Canceled) || errors.Is(n.err, context.DeadlineExceeded)) {
+				return fmt.Errorf("node %q caches a context error: %v", n.key, n.err)
+			}
+			if n.err != nil && errors.Is(n.err, faults.ErrInjected) {
+				return fmt.Errorf("node %q caches an injected fault: %v", n.key, n.err)
+			}
+		}
+		for key, ch := range n.children {
+			if ch.key != key || ch.parent != n {
+				return fmt.Errorf("node %q: broken parent/key links", key)
+			}
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(c.root); err != nil {
+		return err
+	}
+	if walked != c.nodes {
+		return fmt.Errorf("walked %d nodes, bookkeeping says %d", walked, c.nodes)
+	}
+	if c.nodes > c.maxNodes {
+		return fmt.Errorf("trie holds %d nodes, cap is %d", c.nodes, c.maxNodes)
+	}
+	return nil
 }
 
 func (c *SessionCache) walkLeaves(n *trieNode, fn func(*trieNode)) {

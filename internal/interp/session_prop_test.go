@@ -2,7 +2,6 @@ package interp
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -120,42 +119,14 @@ func TestSessionCacheInvariantsUnderLoad(t *testing.T) {
 		_, _ = flush.RunContext(context.Background(), s)
 	}
 
-	// Invariants 1-3: inspect the trie under the cache's own lock.
+	// Invariants 1-3: the exported checker walks the trie under the lock
+	// (env XOR err, no cached context/injected errors, links, bookkeeping).
+	if err := cache.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
 	cache.mu.Lock()
-	walked := 0
-	var walk func(n *trieNode) error
-	walk = func(n *trieNode) error {
-		if n != cache.root {
-			walked++
-			if (n.env == nil) == (n.err == nil) {
-				return fmt.Errorf("node %q: env=%v err=%v, want exactly one", n.key, n.env != nil, n.err)
-			}
-			if n.err != nil && (errors.Is(n.err, context.Canceled) || errors.Is(n.err, context.DeadlineExceeded)) {
-				return fmt.Errorf("node %q caches a context error: %v", n.key, n.err)
-			}
-		}
-		for key, ch := range n.children {
-			if ch.key != key || ch.parent != n {
-				return fmt.Errorf("node %q: broken parent/key links", key)
-			}
-			if err := walk(ch); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	walkErr := walk(cache.root)
-	nodes, shared := cache.nodes, cache.stats
+	shared := cache.stats
 	cache.mu.Unlock()
-	if walkErr != nil {
-		t.Fatal(walkErr)
-	}
-	if walked != nodes {
-		t.Errorf("walked %d nodes, bookkeeping says %d", walked, nodes)
-	}
-	if nodes > maxNodes {
-		t.Errorf("trie holds %d nodes, cap is %d", nodes, maxNodes)
-	}
 
 	// Invariant 4: per-view and shared accounting.
 	var sum CacheStats

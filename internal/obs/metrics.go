@@ -26,12 +26,18 @@ const (
 	MVerifications      = "verifications_total"
 	MSearches           = "searches_total"
 	MSearchesCanceled   = "searches_canceled_total"
-	MPhaseCurateNanos   = "phase_curate_nanoseconds_total"
-	MPhaseGetStepsNanos = "phase_getsteps_nanoseconds_total"
-	MPhaseTopKNanos     = "phase_topk_nanoseconds_total"
-	MPhaseCheckNanos    = "phase_check_nanoseconds_total"
-	MPhaseVerifyNanos   = "phase_verify_nanoseconds_total"
-	MPhaseTotalNanos    = "phase_total_nanoseconds_total"
+	// Containment metrics: quarantines split by cause and phase totals.
+	MCandidatesQuarantined = "candidates_quarantined_total"
+	MStatementPanics       = "statement_panics_total"
+	MBudgetExhaustions     = "budget_exhaustions_total"
+	MVerifyDegraded        = "verifications_degraded_total"
+	MCurateSkipped         = "curate_scripts_skipped_total"
+	MPhaseCurateNanos      = "phase_curate_nanoseconds_total"
+	MPhaseGetStepsNanos    = "phase_getsteps_nanoseconds_total"
+	MPhaseTopKNanos        = "phase_topk_nanoseconds_total"
+	MPhaseCheckNanos       = "phase_check_nanoseconds_total"
+	MPhaseVerifyNanos      = "phase_verify_nanoseconds_total"
+	MPhaseTotalNanos       = "phase_total_nanoseconds_total"
 )
 
 // Counter is a single atomic cumulative metric.

@@ -32,6 +32,18 @@ const (
 	// EvCandidatePruned records a candidate rejected by the early execution
 	// check (Err holds the interpreter failure).
 	EvCandidatePruned EventKind = "candidate_pruned"
+	// EvCandidateQuarantined records a candidate dropped because it panicked
+	// or exhausted a resource budget — a containment event, distinct from an
+	// ordinary execution-failure prune (Detail = panic|exhausted, Err holds
+	// the contained failure).
+	EvCandidateQuarantined EventKind = "candidate_quarantined"
+	// EvVerifyDegraded records a verification that fell back to
+	// sampled-tuple mode because the candidate's full-data run exceeded its
+	// resource budget (N = sample rows used).
+	EvVerifyDegraded EventKind = "verify_degraded"
+	// EvCurateSkipped records a corpus script dropped during curation
+	// because it failed to lemmatize (N = script index, Err the cause).
+	EvCurateSkipped EventKind = "curate_skipped"
 	// EvBeamExtended reports one parent beam fully extended
 	// (N = candidates admitted from this parent).
 	EvBeamExtended EventKind = "beam_extended"

@@ -1,0 +1,132 @@
+package lucidscript
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// catCSV adds a categorical City column to the diabetes fixture so
+// get_dummies genuinely widens the frame (testCSV is all numeric, where
+// get_dummies is the identity) — the column budgets need something to trip.
+const catCSV = `Glucose,SkinThickness,Age,City,Outcome
+148,35,50,ann,1
+85,29,31,bee,0
+183,,32,cid,1
+89,23,21,dov,0
+137,35,33,elk,1
+116,25,30,fay,0
+78,32,26,ann,1
+115,,29,bee,0
+197,45,53,cid,1
+125,96,54,dov,1
+110,37,30,elk,0
+168,15,34,fay,1
+`
+
+// newCatSystem is newTestSystem over catCSV.
+func newCatSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	data, err := ReadCSV(strings.NewReader(catCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus []*Script
+	for i := 0; i < 5; i++ {
+		s, err := ParseScript(corpusScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, s)
+	}
+	sys, err := NewSystem(corpus, map[string]*Frame{"diabetes.csv": data}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestExecLimitsGovernedRun standardizes under the recommended budgets and
+// asserts the healthy path: same output as the ungoverned run, zero Health.
+func TestExecLimitsGovernedRun(t *testing.T) {
+	input, err := ParseScript(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.median())
+df = pd.get_dummies(df)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := newTestSystem(t, Options{Tau: 0.5}).Standardize(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	governed, err := newTestSystem(t, Options{Tau: 0.5, ExecLimits: DefaultExecLimits()}).Standardize(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := governed.Script.Source(), plain.Script.Source(); g != w {
+		t.Errorf("governor changed the output:\n%s\nvs\n%s", g, w)
+	}
+	if governed.Health.Degraded() {
+		t.Errorf("healthy workload reports degraded health: %+v", governed.Health)
+	}
+}
+
+// TestExecLimitsQuarantineSurfacesInHealth gives the governor a column
+// budget the corpus-standard get_dummies candidates cannot fit in: the
+// search must still complete (quarantining, not failing) and report the
+// exhaustions through the facade Result.
+func TestExecLimitsQuarantineSurfacesInHealth(t *testing.T) {
+	// The input stays under 5 columns at every step; get_dummies candidates
+	// (and any wider frame) trip the budget and are quarantined.
+	input, err := ParseScript(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df.fillna(df.median())
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newCatSystem(t, Options{Tau: 0.5, ExecLimits: &ExecLimits{MaxCols: 6}})
+	res, err := sys.Standardize(input)
+	if err != nil {
+		t.Fatalf("quarantines aborted the search: %v", err)
+	}
+	if res.Health.Check.Exhausted == 0 {
+		t.Errorf("no budget exhaustions reported: %+v", res.Health)
+	}
+	if res.Health.Check.Panicked != 0 {
+		t.Errorf("budget trips misreported as panics: %+v", res.Health)
+	}
+	if strings.Contains(res.Script.Source(), "get_dummies") {
+		t.Errorf("budget-tripping candidate survived into the output:\n%s", res.Script.Source())
+	}
+}
+
+// TestExecLimitsInputScriptExhaustion covers the one case where a budget
+// error escapes to the caller: the user's own input script exceeds it. The
+// chain must expose the typed sentinels and the failing statement.
+func TestExecLimitsInputScriptExhaustion(t *testing.T) {
+	input, err := ParseScript(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = pd.get_dummies(df)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newCatSystem(t, Options{ExecLimits: &ExecLimits{MaxCols: 6}})
+	_, err = sys.Standardize(input)
+	if !errors.Is(err, ErrInputScriptFails) {
+		t.Fatalf("err = %v, want ErrInputScriptFails", err)
+	}
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("err = %v, want ErrResourceExhausted in the chain", err)
+	}
+	var stmtErr *StatementError
+	if !errors.As(err, &stmtErr) {
+		t.Fatalf("err = %v, want a *StatementError in the chain", err)
+	}
+	if stmtErr.Line != 3 || !strings.Contains(stmtErr.Stmt, "get_dummies") {
+		t.Errorf("failure attributed to line %d (%s), want line 3 (get_dummies)", stmtErr.Line, stmtErr.Stmt)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"lucidscript/internal/entropy"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/intent"
+	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
 	"lucidscript/internal/script"
 )
@@ -50,6 +51,37 @@ func ReadCSV(r io.Reader) (*Frame, error) { return frame.ReadCSV(r) }
 
 // ReadCSVFile loads a CSV file into a Frame.
 func ReadCSVFile(path string) (*Frame, error) { return frame.ReadCSVFile(path) }
+
+// ExecLimits bounds the resources any single candidate execution may
+// consume: cells, rows, columns, and string bytes of any materialized value,
+// plus statements per run. A zero field is unlimited; a nil *ExecLimits
+// disables the governor entirely (the default — candidate execution is then
+// only bounded by Options.Timeout). A candidate that trips a budget is
+// quarantined, not fatal: the search completes without it and reports the
+// trip in Result.Health.
+type ExecLimits = interp.Limits
+
+// DefaultExecLimits returns budgets generous enough for every workload in
+// the paper's evaluation while stopping runaway candidates (get_dummies
+// column explosions, self-join row blowups, unbounded string concatenation)
+// long before they exhaust process memory.
+func DefaultExecLimits() *ExecLimits { return interp.DefaultLimits() }
+
+// StatementError pinpoints the statement at which a governed execution
+// failed: its 1-based line, its source text, and the underlying cause.
+// Reach it with errors.As on any error returned by the standardization
+// entry points.
+type StatementError = interp.StmtError
+
+// Health reports how much containment one standardization needed —
+// candidates quarantined for contained panics or resource-budget trips
+// (per phase), corpus scripts skipped during curation, and whether any
+// verification degraded to sampled-tuple mode. The zero value is a fully
+// healthy run; see Result.Health.
+type Health = core.Health
+
+// PhaseHealth tallies candidate quarantines in one search phase.
+type PhaseHealth = core.PhaseHealth
 
 // IntentMeasure selects how user intent preservation is evaluated.
 type IntentMeasure string
@@ -147,6 +179,12 @@ type Options struct {
 	// across every call on the System. Use NewMetrics for a private
 	// registry or DefaultMetrics for the process-wide expvar-published one.
 	Metrics *Metrics
+	// ExecLimits, when non-nil, installs the per-execution resource
+	// governor: candidates whose execution would exceed a budget are
+	// quarantined (reported in Result.Health) instead of exhausting the
+	// process. Nil — the default — disables the governor with zero
+	// overhead; DefaultExecLimits returns the recommended budgets.
+	ExecLimits *ExecLimits
 }
 
 // DefaultOptions returns the paper's default configuration with every
@@ -305,6 +343,19 @@ var (
 	// ErrJobPanicked reports that one StandardizeBatch job panicked; the
 	// panic is contained to that job's entry in BatchError.
 	ErrJobPanicked = core.ErrJobPanicked
+	// ErrResourceExhausted reports an execution stopped by an ExecLimits
+	// budget. Standardization never returns it for a candidate — budget
+	// trips quarantine the candidate and surface in Result.Health — so
+	// seeing it from Standardize means the input script itself exceeded a
+	// budget (wrapped in ErrInputScriptFails).
+	ErrResourceExhausted = interp.ErrResourceExhausted
+	// ErrStatementPanicked reports a statement whose execution panicked and
+	// was contained at statement granularity. Like ErrResourceExhausted it
+	// only escapes to the caller when the input script itself panics.
+	ErrStatementPanicked = interp.ErrStatementPanicked
+	// ErrInputScriptFails reports that the user's input script failed to
+	// execute; the cause (including any *StatementError) is in the chain.
+	ErrInputScriptFails = core.ErrInputScriptFails
 )
 
 // Tracer receives structured search events during standardization. See
@@ -333,6 +384,14 @@ const (
 	TraceVerifyDone        = obs.EvVerifyDone
 	TraceSearchDone        = obs.EvSearchDone
 	TraceCanceled          = obs.EvCanceled
+	// TraceCandidateQuarantined reports a candidate dropped for a contained
+	// panic or a resource-budget trip (Detail is "panic" or "exhausted").
+	TraceCandidateQuarantined = obs.EvCandidateQuarantined
+	// TraceVerifyDegraded reports a verification that fell back to
+	// sampled-tuple mode after a budget trip (N is the sample size).
+	TraceVerifyDegraded = obs.EvVerifyDegraded
+	// TraceCurateSkipped reports a corpus script skipped during curation.
+	TraceCurateSkipped = obs.EvCurateSkipped
 )
 
 // NewWriterTracer returns a tracer that writes one line per event to w,
@@ -372,6 +431,14 @@ const (
 	MetricVerifications      = obs.MVerifications
 	MetricSearches           = obs.MSearches
 	MetricSearchesCanceled   = obs.MSearchesCanceled
+
+	// Fault-isolation counters: quarantined candidates (with their panic /
+	// budget-trip split), degraded verifications, and curation skips.
+	MetricCandidatesQuarantined = obs.MCandidatesQuarantined
+	MetricStatementPanics       = obs.MStatementPanics
+	MetricBudgetExhaustions     = obs.MBudgetExhaustions
+	MetricVerifyDegraded        = obs.MVerifyDegraded
+	MetricCurateSkipped         = obs.MCurateSkipped
 )
 
 // Timings is the per-phase wall-clock breakdown of one standardization
@@ -428,6 +495,13 @@ type Result struct {
 	ExecCache ExecCacheStats
 	// Timings is the per-phase runtime breakdown of this standardization.
 	Timings Timings
+	// Health reports the containment this run needed: candidates
+	// quarantined for contained panics or ExecLimits budget trips, corpus
+	// scripts skipped during curation, and whether verification degraded
+	// to sampled-tuple mode. The zero value is a fully healthy run; a
+	// non-zero Health is informational — the output equals what the same
+	// search would produce without the quarantined candidates.
+	Health Health
 }
 
 // System is a standardizer bound to one corpus and dataset; it is safe to
@@ -460,6 +534,7 @@ func NewSystem(corpus []*Script, sources map[string]*Frame, opts Options) (*Syst
 	cfg.ExecCache = !opts.DisableExecCache
 	cfg.Tracer = opts.Tracer
 	cfg.Metrics = opts.Metrics
+	cfg.Limits = opts.ExecLimits
 	cfg.Constraint = opts.constraint()
 	std := core.NewWeighted(corpus, opts.Weights, sources, cfg)
 	if opts.Auto {
@@ -599,6 +674,7 @@ func (s *System) toResult(res *core.Result) *Result {
 			VerifyConstraints: res.Timings.VerifyConstraints,
 			Total:             res.Timings.Total,
 		},
+		Health: res.Health,
 	}
 	for _, tr := range res.Applied {
 		out.Transformations = append(out.Transformations, tr.String())
@@ -653,6 +729,16 @@ type CorpusStats struct {
 	UniqueUnigrams int
 	UniqueNgrams   int
 	UniqueEdges    int
+}
+
+// CurateDiagnostic records one corpus script that curation skipped instead
+// of letting its failure abort NewSystem; Err wraps the contained cause.
+type CurateDiagnostic = core.CurateDiagnostic
+
+// CurationDiagnostics lists the corpus scripts skipped while curating this
+// System's search space. Empty on a healthy corpus.
+func (s *System) CurationDiagnostics() []CurateDiagnostic {
+	return s.std.Corpus.Diagnostics
 }
 
 // Stats returns the corpus statistics used by Table 3 and AutoConfig.
