@@ -1,0 +1,172 @@
+// Command covergate enforces per-package statement-coverage thresholds
+// from a go test -coverprofile file. It is the checked-in CI gate: CI runs
+// the full test suite once with -coverpkg over the gated packages, then
+//
+//	go run ./cmd/covergate -profile cover.out \
+//	    lucidscript/internal/core=75 \
+//	    lucidscript/internal/interp=75 \
+//	    lucidscript/internal/serve=75
+//
+// exits non-zero if any named package's statement coverage falls below its
+// threshold, printing every gated package's actual number either way so
+// the CI log doubles as a coverage report.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// pkgCover accumulates one package's statement counts.
+type pkgCover struct {
+	total, covered int
+}
+
+// Pct is the package's statement coverage in percent.
+func (p pkgCover) Pct() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile written by go test")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: covergate -profile cover.out import/path=minPct ...")
+		os.Exit(2)
+	}
+
+	thresholds := map[string]float64{}
+	var order []string
+	for _, arg := range flag.Args() {
+		pkg, pctStr, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad gate %q: want import/path=minPct", arg))
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad gate %q: %v", arg, err))
+		}
+		thresholds[pkg] = pct
+		order = append(order, pkg)
+	}
+
+	covers, err := parseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for _, pkg := range order {
+		min := thresholds[pkg]
+		c, ok := covers[pkg]
+		if !ok {
+			fmt.Printf("covergate: %-40s no statements in profile  FAIL (want >= %.1f%%)\n", pkg, min)
+			failed = true
+			continue
+		}
+		pct := c.Pct()
+		verdict := "ok"
+		if pct < min {
+			verdict = fmt.Sprintf("FAIL (want >= %.1f%%)", min)
+			failed = true
+		}
+		fmt.Printf("covergate: %-40s %6.1f%% of %d statements  %s\n", pkg, pct, c.total, verdict)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseProfile aggregates a coverprofile's statement counts by package
+// import path. Profile lines look like
+//
+//	lucidscript/internal/core/search.go:88.2,93.16 4 1
+//
+// where the trailing fields are the statement count and the hit count; a
+// statement counts as covered when its hit count is non-zero. Blocks for
+// the same source region appear once per test binary that loaded the file,
+// so (file, region) pairs are deduplicated, keeping the max hit count.
+func parseProfile(path_ string) (map[string]pkgCover, error) {
+	f, err := os.Open(path_)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts int
+		hit   bool
+	}
+	blocks := map[string]block{} // "file:region" → merged block
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:s.c,e.c numStmts hitCount
+		head, counts, ok := cutLast(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		region, stmtStr, ok := cutLast(head, " ")
+		if !ok {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		stmts, err := strconv.Atoi(stmtStr)
+		if err != nil {
+			return nil, fmt.Errorf("malformed statement count in %q", line)
+		}
+		hits, err := strconv.Atoi(counts)
+		if err != nil {
+			return nil, fmt.Errorf("malformed hit count in %q", line)
+		}
+		b := blocks[region]
+		b.stmts = stmts
+		b.hit = b.hit || hits > 0
+		blocks[region] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	covers := map[string]pkgCover{}
+	for region, b := range blocks {
+		file, _, ok := strings.Cut(region, ":")
+		if !ok {
+			continue
+		}
+		pkg := path.Dir(file)
+		c := covers[pkg]
+		c.total += b.stmts
+		if b.hit {
+			c.covered += b.stmts
+		}
+		covers[pkg] = c
+	}
+	return covers, nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// fatal prints and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "covergate:", err)
+	os.Exit(2)
+}

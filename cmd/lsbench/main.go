@@ -17,11 +17,15 @@ import (
 	"time"
 
 	"lucidscript/internal/bench"
+	"lucidscript/internal/bench/serveexp"
 	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
 )
 
 func main() {
+	// The serve experiment lives in its own package because it depends on
+	// the facade (see bench.ServeRunner); link it into the registry here.
+	bench.ServeRunner = serveexp.Run
 	var (
 		exp         = flag.String("exp", "all", "experiment id (e.g. table5, fig9) or 'all'")
 		list        = flag.Bool("list", false, "list experiments and exit")
@@ -36,7 +40,7 @@ func main() {
 		maxCells    = flag.Int("max-cells", 0, "cap rows*cols of any value a candidate materializes (0 = governor off; setting this or -max-steps enables default budgets for the rest)")
 		maxSteps    = flag.Int("max-steps", 0, "cap statements per candidate execution (0 = governor off)")
 		batchWork   = flag.Int("batch-workers", 0, "worker pool size for the batch experiment (0 = GOMAXPROCS)")
-		jsonPath    = flag.String("json", "", "also write machine-readable results (batch experiment) to this JSON file")
+		jsonPath    = flag.String("json", "", "also write machine-readable results (batch and serve experiments) to this JSON file")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		trace       = flag.Bool("trace", false, "stream structured search events to stderr")
 		metricsDump = flag.Bool("metrics-dump", false, "print cumulative search counters in Prometheus text format to stderr on exit")

@@ -1,0 +1,240 @@
+// Command lsserved runs the LucidScript standardization service: a
+// long-lived HTTP server that hosts one curated System per named dataset
+// and standardizes submitted scripts through bounded, admission-controlled
+// job queues (see internal/serve and docs/API.md).
+//
+// Usage:
+//
+//	lsserved -addr :8080 -corpus scripts_dir -data diabetes.csv \
+//	         [-measure jaccard|model] [-tau 0.9] [-target Outcome] \
+//	         [-queue-depth 16] [-serve-workers 4] [-job-timeout 60s]
+//
+// Multiple datasets are hosted with repeatable -dataset specs, each
+// curated independently at startup:
+//
+//	lsserved -addr :8080 \
+//	    -dataset 'diabetes=corpus_dir,diabetes.csv' \
+//	    -dataset 'sales=sales_corpus,sales.csv,regions.csv'
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
+// GET /healthz, GET /metrics (Prometheus text). Overload returns 429 with
+// a Retry-After header. SIGTERM/SIGINT drains gracefully: in-flight jobs
+// finish (up to -drain-timeout), queued jobs fail with a clean
+// shutting-down code, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/serve"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		corpusDir    = flag.String("corpus", "", "corpus directory for the single-dataset shorthand (with -data)")
+		measure      = flag.String("measure", "jaccard", "user-intent measure: jaccard or model")
+		tau          = flag.Float64("tau", 0, "intent threshold (default 0.9 jaccard / 1% model)")
+		target       = flag.String("target", "", "label column (required for -measure model)")
+		seq          = flag.Int("seq", 0, "max transformations (default 16)")
+		beam         = flag.Int("beam", 0, "beam size (default 3)")
+		auto         = flag.Bool("auto", false, "derive seq/beam from corpus statistics (Table 2)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		execCache    = flag.String("execcache", "on", "execution-prefix cache: on or off")
+		maxCells     = flag.Int("max-cells", 0, "cap rows*cols of any value a candidate materializes (0 = governor off)")
+		maxSteps     = flag.Int("max-steps", 0, "cap statements per candidate execution (0 = governor off)")
+		searchWork   = flag.Int("workers", 0, "beam-search workers inside each job (default 1)")
+		serveWorkers = flag.Int("serve-workers", 0, "concurrent jobs per dataset (default GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 0, "queued jobs per dataset before 429s (default 2x serve-workers)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none); jobs may lower it per request")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+		dataPaths    stringList
+		datasetSpecs stringList
+	)
+	flag.Var(&dataPaths, "data", "CSV data file for the single-dataset shorthand (repeatable)")
+	flag.Var(&datasetSpecs, "dataset", "hosted dataset spec: name=corpusDir,data.csv[,more.csv] (repeatable)")
+	flag.Parse()
+
+	if *corpusDir == "" && len(datasetSpecs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lsserved -addr :8080 (-corpus dir -data file.csv | -dataset 'name=dir,file.csv' ...)")
+		os.Exit(2)
+	}
+	if *corpusDir != "" {
+		if len(dataPaths) == 0 {
+			fatal(errors.New("-corpus needs at least one -data file"))
+		}
+		name := strings.TrimSuffix(filepath.Base(dataPaths[0]), filepath.Ext(dataPaths[0]))
+		datasetSpecs = append(datasetSpecs,
+			fmt.Sprintf("%s=%s,%s", name, *corpusDir, strings.Join(dataPaths, ",")))
+	}
+
+	metrics := lucidscript.NewMetrics()
+	opts := lucidscript.Options{
+		SeqLength:        *seq,
+		BeamSize:         *beam,
+		Measure:          lucidscript.IntentMeasure(*measure),
+		Tau:              *tau,
+		TargetColumn:     *target,
+		Auto:             *auto,
+		Seed:             *seed,
+		Workers:          *searchWork,
+		DisableExecCache: *execCache == "off",
+		Timeout:          *jobTimeout,
+		Metrics:          metrics,
+	}
+	if *maxCells > 0 || *maxSteps > 0 {
+		limits := lucidscript.DefaultExecLimits()
+		if *maxCells > 0 {
+			limits.MaxCells = *maxCells
+		}
+		if *maxSteps > 0 {
+			limits.MaxSteps = *maxSteps
+		}
+		opts.ExecLimits = limits
+	}
+
+	systems := map[string]*lucidscript.System{}
+	for _, spec := range datasetSpecs {
+		name, sys, err := buildDataset(spec, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if _, dup := systems[name]; dup {
+			fatal(fmt.Errorf("duplicate dataset name %q", name))
+		}
+		systems[name] = sys
+		stats := sys.Stats()
+		fmt.Fprintf(os.Stderr, "lsserved: dataset %q curated: %d scripts, %d unique edges\n",
+			name, stats.Scripts, stats.UniqueEdges)
+	}
+
+	srv, err := serve.NewServer(systems, serve.Config{
+		Workers:    *serveWorkers,
+		QueueDepth: *queueDepth,
+		RetryAfter: *retryAfter,
+		Metrics:    metrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lsserved: listening on %s (%d datasets)\n", *addr, len(systems))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "lsserved: draining (in-flight jobs finish, queued jobs fail cleanly)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "lsserved: drain timeout hit, in-flight jobs were canceled:", err)
+	}
+	// The job queues are drained; now close the listener, letting any
+	// final status polls complete.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "lsserved: http shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "lsserved: bye")
+}
+
+// buildDataset parses one name=corpusDir,csv[,csv...] spec and curates its
+// System.
+func buildDataset(spec string, opts lucidscript.Options) (string, *lucidscript.System, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("bad -dataset %q: want name=corpusDir,data.csv[,more.csv]", spec)
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) < 2 {
+		return "", nil, fmt.Errorf("bad -dataset %q: want name=corpusDir,data.csv[,more.csv]", spec)
+	}
+	corpus, err := loadCorpus(parts[0])
+	if err != nil {
+		return "", nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	sources := map[string]*lucidscript.Frame{}
+	for _, p := range parts[1:] {
+		f, err := lucidscript.ReadCSVFile(p)
+		if err != nil {
+			return "", nil, fmt.Errorf("dataset %q: loading %s: %w", name, p, err)
+		}
+		sources[filepath.Base(p)] = f
+	}
+	sys, err := lucidscript.NewSystem(corpus, sources, opts)
+	if err != nil {
+		return "", nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	return name, sys, nil
+}
+
+// loadCorpus reads every *.ls / *.py script in dir, sorted by name.
+func loadCorpus(dir string) ([]*lucidscript.Script, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".ls") || strings.HasSuffix(e.Name(), ".py") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var corpus []*lucidscript.Script
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		sc, err := lucidscript.ParseScript(string(b))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", n, err)
+		}
+		corpus = append(corpus, sc)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("no *.ls or *.py scripts in %s", dir)
+	}
+	return corpus, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsserved:", err)
+	os.Exit(1)
+}

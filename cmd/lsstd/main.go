@@ -210,6 +210,12 @@ func main() {
 	fmt.Print(res.Script.Source())
 	fmt.Fprintf(os.Stderr, "RE: %.3f -> %.3f (%.1f%% improvement), intent %.3f\n",
 		res.REBefore, res.REAfter, res.ImprovementPct, res.IntentValue)
+	// The digest of the standardized script's output table over the full
+	// data; lsserved returns the same value per job (result.output_hash), so
+	// a CLI run and a served run are directly comparable.
+	if hash, err := sys.OutputHash(res.Script); err == nil {
+		fmt.Fprintf(os.Stderr, "output hash: %s\n", hash)
+	}
 	for _, tr := range res.Transformations {
 		fmt.Fprintln(os.Stderr, "  "+tr)
 	}

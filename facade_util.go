@@ -1,6 +1,12 @@
 package lucidscript
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
 	"lucidscript/internal/dag"
 	"lucidscript/internal/script"
 )
@@ -12,3 +18,34 @@ func buildGraph(sc *script.Script) *dag.Graph { return dag.Build(sc) }
 // aliases become pd/np and dataframe variables adopt canonical names, so
 // syntactically different but semantically equivalent scripts compare equal.
 func Lemmatize(sc *Script) *Script { return dag.Lemmatize(sc) }
+
+// ErrNoOutput reports that a script executed successfully but produced no
+// output table, so there is nothing to hash.
+var ErrNoOutput = errors.New("lucidscript: script produced no output table")
+
+// OutputHash executes the script against the System's full (unsampled)
+// sources and returns the SHA-256 hex digest of the output table's CSV
+// serialization. Because the digest covers the materialized table — not
+// the script text — it is the cheap way to confirm that two standardized
+// scripts are output-equivalent: lsstd prints it, the HTTP service returns
+// it per job, and the e2e tests compare the two.
+func (s *System) OutputHash(sc *Script) (string, error) {
+	return s.OutputHashContext(context.Background(), sc)
+}
+
+// OutputHashContext is OutputHash under a context (the execution honors
+// cancellation at statement granularity).
+func (s *System) OutputHashContext(ctx context.Context, sc *Script) (string, error) {
+	out, err := s.std.RunOutput(ctx, sc)
+	if err != nil {
+		return "", err
+	}
+	if out == nil {
+		return "", ErrNoOutput
+	}
+	h := sha256.New()
+	if err := out.WriteCSV(h); err != nil {
+		return "", fmt.Errorf("lucidscript: hashing output table: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

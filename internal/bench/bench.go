@@ -49,7 +49,7 @@ type Options struct {
 	// (default GOMAXPROCS).
 	BatchWorkers int
 	// JSONPath, when set, makes experiments with machine-readable output
-	// (currently "batch") also write a JSON record file there.
+	// (currently "batch" and "serve") also write a JSON record file there.
 	JSONPath string
 	// Progress receives one line per unit of work when non-nil.
 	Progress io.Writer
@@ -84,6 +84,28 @@ func (o Options) logf(format string, args ...interface{}) {
 	if o.Progress != nil {
 		fmt.Fprintf(o.Progress, format+"\n", args...)
 	}
+}
+
+// WithDefaults returns the options with the fast-profile defaults filled
+// in, for experiment implementations living outside this package (see
+// serveexp).
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
+// Logf writes one progress line to Progress when it is set.
+func (o Options) Logf(format string, args ...interface{}) { o.logf(format, args...) }
+
+// GenerateDataset materializes one named competition corpus at the scale
+// these options describe.
+func (o Options) GenerateDataset(name string) (*corpusgen.Generated, error) {
+	c, err := corpusgen.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Generate(corpusgen.GenOptions{
+		Seed:     o.Seed,
+		RowScale: o.RowScale,
+		MinRows:  o.MinRows,
+	})
 }
 
 // Table is a rendered experiment result.
@@ -148,15 +170,7 @@ func (g *genCache) get(name string) (*corpusgen.Generated, error) {
 	if v, ok := g.m[name]; ok {
 		return v, nil
 	}
-	c, err := corpusgen.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	gen, err := c.Generate(corpusgen.GenOptions{
-		Seed:     g.opts.Seed,
-		RowScale: g.opts.RowScale,
-		MinRows:  g.opts.MinRows,
-	})
+	gen, err := g.opts.GenerateDataset(name)
 	if err != nil {
 		return nil, err
 	}

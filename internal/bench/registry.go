@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{ID: "fig9", Paper: "Figure 9", Description: "target-leakage detection", Run: Fig9},
 		{ID: "ablate", Paper: "(extra)", Description: "framework-component ablation (DESIGN.md)", Run: Ablate},
 		{ID: "batch", Paper: "(extra)", Description: "concurrent batch engine vs sequential standardization", Run: Batch},
+		{ID: "serve", Paper: "(extra)", Description: "HTTP standardization service vs direct library calls", Run: Serve},
 	}
 }
 

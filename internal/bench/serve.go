@@ -1,0 +1,20 @@
+package bench
+
+import "errors"
+
+// ServeRunner is the implementation of the "serve" experiment, installed by
+// cmd/lsbench from internal/bench/serveexp. The experiment drives the HTTP
+// service through the facade package, which this package cannot import: the
+// root package's tests import bench, so bench → lucidscript would be a
+// cycle. The one-function indirection keeps the registry complete while the
+// facade-dependent code lives one package over.
+var ServeRunner func(Options) (*Table, error)
+
+// Serve measures what serving standardization over HTTP costs relative to
+// calling the library directly. See serveexp.Run for the implementation.
+func Serve(opts Options) (*Table, error) {
+	if ServeRunner == nil {
+		return nil, errors.New("bench: serve experiment not linked in (install bench.ServeRunner, see internal/bench/serveexp)")
+	}
+	return ServeRunner(opts)
+}

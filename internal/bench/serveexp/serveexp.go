@@ -1,0 +1,192 @@
+// Package serveexp implements the "serve" benchmark experiment: the HTTP
+// standardization service versus direct in-process batch calls on the same
+// jobs. It lives outside internal/bench because it needs the facade package
+// (lucidscript) and internal/serve, and bench itself is imported by the
+// root package's tests — importing the facade from bench would be an import
+// cycle. cmd/lsbench wires it in via bench.ServeRunner.
+package serveexp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/bench"
+	"lucidscript/internal/serve"
+)
+
+// Result is the JSON shape written next to the experiment's table: one
+// record per dataset comparing the HTTP standardization service (submit
+// over the wire, poll to completion) against direct in-process batch calls
+// on the same jobs. The gap between the two is the full service tax — JSON
+// marshalling, HTTP round trips, queue admission, and status polling.
+type Result struct {
+	Dataset string `json:"dataset"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	// Reps is how many times each arm ran; the times below are the best
+	// rep, the standard way to cut scheduler noise out of wall-clock runs.
+	Reps     int     `json:"reps"`
+	DirectMS float64 `json:"direct_ms"`
+	ServedMS float64 `json:"served_ms"`
+	// OverheadPct is (served - direct) / direct in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	// PerJobOverheadMS is the absolute service tax amortized per job.
+	PerJobOverheadMS float64 `json:"per_job_overhead_ms"`
+	// Identical reports that every served standardized script matched its
+	// direct counterpart byte for byte (the experiment fails otherwise).
+	Identical bool `json:"identical"`
+}
+
+// Run measures what serving standardization over HTTP costs relative to
+// calling the library directly. Each arm gets its own identically-built
+// System with a long-lived job queue — curation paid outside the timed
+// region and the execution-prefix cache persistent across reps, mirroring a
+// long-lived deployment on both sides — so the comparison isolates the
+// transport, marshalling, and polling overhead, not the search or cache
+// warmth.
+func Run(opts bench.Options) (*bench.Table, error) {
+	opts = opts.WithDefaults()
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	table := &bench.Table{
+		Title:  "HTTP service vs direct library calls (same jobs, one long-lived curated System per arm)",
+		Header: []string{"dataset", "jobs", "workers", "direct", "served", "overhead", "per-job"},
+	}
+	var records []Result
+	for _, name := range opts.Datasets {
+		gen, err := opts.GenerateDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		jobs := gen.Sample(opts.ScriptsPerDataset, opts.Seed+17)
+		lsOpts := lucidscript.Options{
+			Seed:             opts.Seed,
+			SeqLength:        opts.SeqLength,
+			BeamSize:         opts.BeamSize,
+			Measure:          lucidscript.IntentMeasure("jaccard"),
+			Tau:              0.8,
+			DisableExecCache: opts.DisableExecCache,
+			BatchWorkers:     workers,
+		}
+		sysDirect, err := lucidscript.NewSystem(gen.ScriptsOnly(), gen.Sources, lsOpts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		sysServed, err := lucidscript.NewSystem(gen.ScriptsOnly(), gen.Sources, lsOpts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		directQueue := sysDirect.NewJobQueue(workers, len(jobs))
+		srv, err := serve.NewServer(map[string]*lucidscript.System{name: sysServed},
+			serve.Config{Workers: workers, QueueDepth: len(jobs)})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		client := serve.NewClient(hs.URL, hs.Client())
+		ctx := context.Background()
+
+		// The arms run interleaved (direct rep, then served rep) so machine
+		// drift hits both equally, and the best rep per arm is recorded so
+		// one scheduler hiccup does not decide the comparison.
+		const reps = 3
+		var directDur, servedDur time.Duration
+		directOut := make([]string, len(jobs))
+		for r := 0; r < reps; r++ {
+			runtime.GC()
+			directStart := time.Now()
+			handles := make([]*lucidscript.QueuedJob, len(jobs))
+			for i, su := range jobs {
+				h, err := directQueue.Submit(ctx, su)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s direct submit %d: %w", name, i, err)
+				}
+				handles[i] = h
+			}
+			for i, h := range handles {
+				res, err := h.Wait(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s direct job %d: %w", name, i, err)
+				}
+				directOut[i] = res.Script.Source()
+			}
+			if d := time.Since(directStart); r == 0 || d < directDur {
+				directDur = d
+			}
+
+			runtime.GC()
+			servedStart := time.Now()
+			ids := make([]string, len(jobs))
+			for i, su := range jobs {
+				st, err := client.Submit(ctx, name, su.Source(), nil)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s served submit %d: %w", name, i, err)
+				}
+				ids[i] = st.ID
+			}
+			for i, id := range ids {
+				st, err := client.Wait(ctx, id, 2*time.Millisecond)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s served wait %d: %w", name, i, err)
+				}
+				if st.State != serve.StateDone {
+					return nil, fmt.Errorf("bench: %s served job %d: state %s (%s)", name, i, st.State, st.Error)
+				}
+				if st.Result.Script != directOut[i] {
+					return nil, fmt.Errorf("bench: %s served output diverges from direct for job %d", name, i)
+				}
+			}
+			if d := time.Since(servedStart); r == 0 || d < servedDur {
+				servedDur = d
+			}
+		}
+		hs.Close()
+		directQueue.Close()
+		if err := srv.Shutdown(ctx); err != nil {
+			return nil, fmt.Errorf("bench: %s shutdown: %w", name, err)
+		}
+
+		rec := Result{
+			Dataset:          name,
+			Jobs:             len(jobs),
+			Workers:          workers,
+			Reps:             reps,
+			DirectMS:         float64(directDur.Microseconds()) / 1e3,
+			ServedMS:         float64(servedDur.Microseconds()) / 1e3,
+			OverheadPct:      100 * (float64(servedDur) - float64(directDur)) / float64(directDur),
+			PerJobOverheadMS: float64((servedDur - directDur).Microseconds()) / 1e3 / float64(len(jobs)),
+			Identical:        true,
+		}
+		records = append(records, rec)
+		table.Rows = append(table.Rows, []string{
+			name,
+			fmt.Sprintf("%d", rec.Jobs),
+			fmt.Sprintf("%d", rec.Workers),
+			fmt.Sprintf("%.0fms", rec.DirectMS),
+			fmt.Sprintf("%.0fms", rec.ServedMS),
+			fmt.Sprintf("%.1f%%", rec.OverheadPct),
+			fmt.Sprintf("%.2fms", rec.PerJobOverheadMS),
+		})
+		opts.Logf("%s: %d jobs, direct %s vs served %s (+%.1f%%)",
+			name, rec.Jobs, directDur.Round(time.Millisecond), servedDur.Round(time.Millisecond), rec.OverheadPct)
+	}
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", opts.JSONPath, err)
+		}
+		opts.Logf("serve results written to %s", opts.JSONPath)
+	}
+	return table, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lucidscript/internal/interp"
+)
+
+// TestClassifyQuarantine pins the error-to-quarantine mapping the fault
+// isolation layer hangs off, including wrapped chains.
+func TestClassifyQuarantine(t *testing.T) {
+	cases := []struct {
+		err                   error
+		quarantined, panicked bool
+	}{
+		{interp.ErrStatementPanicked, true, true},
+		{fmt.Errorf("wrap: %w", interp.ErrStatementPanicked), true, true},
+		{interp.ErrResourceExhausted, true, false},
+		{fmt.Errorf("wrap: %w", interp.ErrResourceExhausted), true, false},
+		{errors.New("ordinary execution failure"), false, false},
+		{nil, false, false},
+	}
+	for _, c := range cases {
+		q, p := classifyQuarantine(c.err)
+		if q != c.quarantined || p != c.panicked {
+			t.Errorf("classifyQuarantine(%v) = (%v, %v), want (%v, %v)",
+				c.err, q, p, c.quarantined, c.panicked)
+		}
+	}
+}
+
+// TestQuarantineDetail pins the trace-event cause names.
+func TestQuarantineDetail(t *testing.T) {
+	if got := quarantineDetail(true); got != "panic" {
+		t.Errorf("quarantineDetail(true) = %q, want panic", got)
+	}
+	if got := quarantineDetail(false); got != "exhausted" {
+		t.Errorf("quarantineDetail(false) = %q, want exhausted", got)
+	}
+}
+
+// TestHealthAccessors covers Total/Degraded and the phase bookkeeping.
+func TestHealthAccessors(t *testing.T) {
+	var h Health
+	if h.Degraded() || h.Total() != 0 {
+		t.Errorf("zero Health: Degraded=%v Total=%d, want false/0", h.Degraded(), h.Total())
+	}
+
+	h.Check.add(true)
+	h.Verify.add(false)
+	if h.Total() != 2 || !h.Degraded() {
+		t.Errorf("after two quarantines: Total=%d Degraded=%v", h.Total(), h.Degraded())
+	}
+	if h.Check.Panicked != 1 || h.Verify.Exhausted != 1 {
+		t.Errorf("phase split = check %+v / verify %+v", h.Check, h.Verify)
+	}
+
+	var merged PhaseHealth
+	merged.merge(h.Check)
+	merged.merge(h.Verify)
+	if merged.Quarantined != 2 || merged.Panicked != 1 || merged.Exhausted != 1 {
+		t.Errorf("merged = %+v", merged)
+	}
+
+	if !(Health{CurateSkipped: 1}).Degraded() {
+		t.Error("CurateSkipped alone should degrade")
+	}
+	if !(Health{VerifyDegraded: true}).Degraded() {
+		t.Error("VerifyDegraded alone should degrade")
+	}
+}

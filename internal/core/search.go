@@ -85,6 +85,19 @@ func (st *Standardizer) runScript(ctx context.Context, sess interp.Session, s *s
 	return interp.RunContext(ctx, s, st.execSources(), st.interpOptions())
 }
 
+// RunOutput executes a script against the corpus's full (unsampled)
+// sources and returns its output table. It is how serving layers compute
+// the real output — and its hash — of a standardized script: the search
+// itself runs over MaxRows-sampled sources, but the table users consume is
+// produced by the full data.
+func (st *Standardizer) RunOutput(ctx context.Context, s *script.Script) (*frame.Frame, error) {
+	res, err := interp.RunContext(ctx, s, st.Corpus.Sources, st.interpOptions())
+	if err != nil {
+		return nil, err
+	}
+	return res.Main, nil
+}
+
 // checkScript is runScript for the execution constraint only.
 func (st *Standardizer) checkScript(ctx context.Context, sess interp.Session, s *script.Script) error {
 	if sess != nil {

@@ -32,12 +32,21 @@ const (
 	MBudgetExhaustions     = "budget_exhaustions_total"
 	MVerifyDegraded        = "verifications_degraded_total"
 	MCurateSkipped         = "curate_scripts_skipped_total"
-	MPhaseCurateNanos      = "phase_curate_nanoseconds_total"
-	MPhaseGetStepsNanos    = "phase_getsteps_nanoseconds_total"
-	MPhaseTopKNanos        = "phase_topk_nanoseconds_total"
-	MPhaseCheckNanos       = "phase_check_nanoseconds_total"
-	MPhaseVerifyNanos      = "phase_verify_nanoseconds_total"
-	MPhaseTotalNanos       = "phase_total_nanoseconds_total"
+	// Service metrics: job-queue admission and HTTP traffic. MQueueDepth
+	// is a gauge (enqueue +1 / dequeue -1); the rest are counters.
+	MQueueDepth         = "queue_depth"
+	MJobsSubmitted      = "queue_jobs_submitted_total"
+	MJobsRejected       = "queue_jobs_rejected_total"
+	MJobsCompleted      = "queue_jobs_completed_total"
+	MJobsFailed         = "queue_jobs_failed_total"
+	MHTTPRequests       = "http_requests_total"
+	MHTTPErrors         = "http_errors_total"
+	MPhaseCurateNanos   = "phase_curate_nanoseconds_total"
+	MPhaseGetStepsNanos = "phase_getsteps_nanoseconds_total"
+	MPhaseTopKNanos     = "phase_topk_nanoseconds_total"
+	MPhaseCheckNanos    = "phase_check_nanoseconds_total"
+	MPhaseVerifyNanos   = "phase_verify_nanoseconds_total"
+	MPhaseTotalNanos    = "phase_total_nanoseconds_total"
 )
 
 // Counter is a single atomic cumulative metric.

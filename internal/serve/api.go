@@ -1,0 +1,229 @@
+// Package serve exposes the standardization engine as a long-running HTTP
+// service: POST /v1/jobs submits a script against a named dataset, GET
+// /v1/jobs/{id} polls status and result, DELETE /v1/jobs/{id} cancels via
+// the engine's context plumbing, and /healthz + /metrics expose liveness
+// and the obs counters in Prometheus text format.
+//
+// The server keeps one lucidscript.System per named dataset, so corpus
+// curation is paid exactly once per dataset for the life of the process,
+// and every request's job shares that System's execution-prefix session
+// cache through a bounded, admission-controlled JobQueue: overload is shed
+// with 429 + Retry-After instead of stacked goroutines, and SIGTERM drains
+// in-flight jobs before the listener closes.
+//
+// This file defines the JSON wire types, shared verbatim by Server and
+// Client so the two cannot drift.
+package serve
+
+import (
+	"time"
+
+	"lucidscript"
+)
+
+// The machine-readable failure codes carried by ErrorResponse.Code and
+// JobStatus.Code. HTTP status alone cannot distinguish, say, a canceled
+// job from a fault-injected one, so every error payload carries one of
+// these.
+const (
+	// CodeBadRequest marks a malformed submission (bad JSON, unparseable
+	// script, unknown option).
+	CodeBadRequest = "bad_request"
+	// CodeUnknownDataset marks a submission naming a dataset the server
+	// does not host.
+	CodeUnknownDataset = "unknown_dataset"
+	// CodeNotFound marks a job id the server has no record of.
+	CodeNotFound = "not_found"
+	// CodeQueueFull marks an admission-control rejection (HTTP 429); the
+	// Retry-After header says when to come back.
+	CodeQueueFull = "queue_full"
+	// CodeShuttingDown marks work refused or drained because the server is
+	// stopping (HTTP 503).
+	CodeShuttingDown = "shutting_down"
+	// CodeCanceled marks a job stopped by DELETE /v1/jobs/{id} or by its
+	// submitter's context.
+	CodeCanceled = "canceled"
+	// CodeDeadlineExceeded marks a job stopped by the per-job timeout.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeJobPanicked marks a job whose standardization panicked; the
+	// panic was contained to the job.
+	CodeJobPanicked = "job_panicked"
+	// CodeFaultInjected marks a job failed by the deterministic
+	// chaos-injection hook (test deployments only).
+	CodeFaultInjected = "fault_injected"
+	// CodeInputScriptFails marks a job whose input script does not execute
+	// against the dataset.
+	CodeInputScriptFails = "input_script_fails"
+	// CodeInternal marks any other failure.
+	CodeInternal = "internal"
+)
+
+// The JobStatus.State values, mirroring lucidscript.JobState plus the two
+// terminal failure refinements the HTTP surface distinguishes.
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued = "queued"
+	// StateRunning: a worker is standardizing the script now.
+	StateRunning = "running"
+	// StateDone: finished successfully; Result is populated.
+	StateDone = "done"
+	// StateFailed: finished with an error; Error and Code are populated
+	// and Result may hold a partial result.
+	StateFailed = "failed"
+	// StateCanceled: stopped by cancellation; Result may hold the partial
+	// result found before the cancel landed.
+	StateCanceled = "canceled"
+)
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Dataset names the server-side dataset/corpus pair to standardize
+	// against (see GET /healthz for the hosted names).
+	Dataset string `json:"dataset"`
+	// Script is the LSL (pandas-style) source to standardize.
+	Script string `json:"script"`
+	// Options tweaks this job only. Search-shaping options (tau, measure,
+	// beam …) are fixed per dataset at server start — curation depends on
+	// them — so per-job options are deliberately small.
+	Options *JobOptions `json:"options,omitempty"`
+}
+
+// JobOptions are the per-job knobs a submission may set.
+type JobOptions struct {
+	// Timeout bounds this job (Go duration string, e.g. "30s"). Empty
+	// inherits the server's per-job timeout. An expired timeout fails the
+	// job with CodeDeadlineExceeded and keeps the best partial result.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} payload (POST and DELETE return it
+// too, so every job endpoint speaks one shape).
+type JobStatus struct {
+	ID      string `json:"id"`
+	Dataset string `json:"dataset"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Error and Code are set on failed/canceled jobs; Code is one of the
+	// Code* constants.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+	// Result is set once the job is done (and on cancellations that
+	// salvaged a partial result).
+	Result *JobResult `json:"result,omitempty"`
+	// SubmittedAt / FinishedAt are server-clock timestamps (RFC 3339).
+	SubmittedAt time.Time  `json:"submitted_at"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// JobResult is the standardization outcome carried by JobStatus.
+type JobResult struct {
+	// Script is the standardized LSL source.
+	Script string `json:"script"`
+	// OutputHash is the SHA-256 hex digest of the standardized script's
+	// output table (CSV serialization over the full dataset) — compare it
+	// against lsstd's "output hash" stderr line to confirm the service
+	// and the CLI produce the same table.
+	OutputHash string `json:"output_hash,omitempty"`
+	// REBefore/REAfter/ImprovementPct/IntentValue mirror
+	// lucidscript.Result.
+	REBefore       float64 `json:"re_before"`
+	REAfter        float64 `json:"re_after"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	IntentValue    float64 `json:"intent_value"`
+	// Transformations and Explanations describe the applied edits.
+	Transformations []string `json:"transformations,omitempty"`
+	Explanations    []string `json:"explanations,omitempty"`
+	// Health is present when the run needed fault containment.
+	Health *JobHealth `json:"health,omitempty"`
+	// Timings is the per-phase wall-clock breakdown in milliseconds.
+	Timings JobTimings `json:"timings"`
+}
+
+// JobHealth is the wire form of lucidscript.Health.
+type JobHealth struct {
+	Quarantined    int  `json:"quarantined"`
+	Panicked       int  `json:"panicked"`
+	Exhausted      int  `json:"exhausted"`
+	CurateSkipped  int  `json:"curate_skipped"`
+	VerifyDegraded bool `json:"verify_degraded"`
+}
+
+// JobTimings is the wire form of lucidscript.Timings, in milliseconds.
+type JobTimings struct {
+	CurateMS float64 `json:"curate_ms"`
+	StepsMS  float64 `json:"get_steps_ms"`
+	TopKMS   float64 `json:"top_k_beams_ms"`
+	CheckMS  float64 `json:"check_executes_ms"`
+	VerifyMS float64 `json:"verify_constraints_ms"`
+	TotalMS  float64 `json:"total_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// RetryAfterMS hints when to retry (429/503 only); the same value is
+	// in the Retry-After header in seconds.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// HealthResponse is the GET /healthz payload.
+type HealthResponse struct {
+	// Status is "ok" while serving and "draining" once shutdown began.
+	Status string `json:"status"`
+	// Datasets maps each hosted dataset to its queue snapshot.
+	Datasets map[string]DatasetHealth `json:"datasets"`
+}
+
+// DatasetHealth is one dataset's queue snapshot inside HealthResponse.
+type DatasetHealth struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Workers       int   `json:"workers"`
+	Submitted     int64 `json:"submitted"`
+	Rejected      int64 `json:"rejected"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	// CorpusScripts is the curated corpus size backing this dataset.
+	CorpusScripts int `json:"corpus_scripts"`
+}
+
+// toWireResult converts a facade Result (possibly a partial one) plus its
+// output hash into the wire shape.
+func toWireResult(res *lucidscript.Result, outputHash string) *JobResult {
+	if res == nil {
+		return nil
+	}
+	jr := &JobResult{
+		Script:          res.Script.Source(),
+		OutputHash:      outputHash,
+		REBefore:        res.REBefore,
+		REAfter:         res.REAfter,
+		ImprovementPct:  res.ImprovementPct,
+		IntentValue:     res.IntentValue,
+		Transformations: res.Transformations,
+		Explanations:    res.Explanations,
+		Timings: JobTimings{
+			CurateMS: ms(res.Timings.CurateSearchSpace),
+			StepsMS:  ms(res.Timings.GetSteps),
+			TopKMS:   ms(res.Timings.GetTopKBeams),
+			CheckMS:  ms(res.Timings.CheckIfExecutes),
+			VerifyMS: ms(res.Timings.VerifyConstraints),
+			TotalMS:  ms(res.Timings.Total),
+		},
+	}
+	if res.Health.Degraded() {
+		jr.Health = &JobHealth{
+			Quarantined:    res.Health.Total(),
+			Panicked:       res.Health.Check.Panicked + res.Health.Verify.Panicked,
+			Exhausted:      res.Health.Check.Exhausted + res.Health.Verify.Exhausted,
+			CurateSkipped:  res.Health.CurateSkipped,
+			VerifyDegraded: res.Health.VerifyDegraded,
+		}
+	}
+	return jr
+}
+
+// ms converts a duration to fractional milliseconds for the wire.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The sentinel errors a Client maps HTTP failures onto; match with
+// errors.Is. The full server payload (code, message, retry hint) rides
+// along as a wrapped *APIError.
+var (
+	// ErrNotFound: unknown job id or dataset (HTTP 404).
+	ErrNotFound = errors.New("serve: not found")
+	// ErrOverloaded: admission control rejected the submission (HTTP 429);
+	// honor APIError.RetryAfter.
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrDraining: the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// APIError is the decoded server error payload, reachable via errors.As on
+// any Client error.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable Code* constant from the body.
+	Code string
+	// Message is the human-readable error.
+	Message string
+	// RetryAfter is the server's back-off hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+// Error renders the payload.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Client is a typed wrapper over the HTTP API — the one client the e2e
+// tests, the stress harness, and future tooling share.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a server rooted at base (e.g.
+// "http://127.0.0.1:8080"). hc nil uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Submit enqueues one standardization and returns its accepted status
+// (state "queued"); poll Job or call Wait with the returned ID.
+func (c *Client) Submit(ctx context.Context, dataset, scriptSrc string, opts *JobOptions) (*JobStatus, error) {
+	body, err := json.Marshal(SubmitRequest{Dataset: dataset, Script: scriptSrc, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches one job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel asks the server to stop a job and returns its status afterward.
+// Canceling an already-finished job is a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls the job every poll interval (≤ 0 defaults to 10ms) until it
+// reaches a terminal state or ctx is canceled.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Healthz fetches the liveness and queue snapshot.
+func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
+	var h HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("serve: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
+}
+
+// do performs one JSON round trip, mapping non-2xx responses to the typed
+// sentinels.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var er ErrorResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&er); derr == nil {
+		apiErr.Code, apiErr.Message = er.Code, er.Error
+		apiErr.RetryAfter = time.Duration(er.RetryAfterMS) * time.Millisecond
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %w", ErrNotFound, apiErr)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %w", ErrOverloaded, apiErr)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %w", ErrDraining, apiErr)
+	}
+	return apiErr
+}

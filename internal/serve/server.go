@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/faults"
+	"lucidscript/internal/obs"
+)
+
+// Config tunes a Server. The zero value is serviceable: every field
+// resolves to the default documented on it.
+type Config struct {
+	// Workers is each dataset's worker-pool size; ≤ 0 resolves to the
+	// System's Options.BatchWorkers (itself defaulting to GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds each dataset's admitted-but-waiting jobs; ≤ 0
+	// resolves to 2× the resolved worker count. A full queue rejects
+	// submissions with 429 + Retry-After.
+	QueueDepth int
+	// RetryAfter is the client back-off hint on 429/503 responses; ≤ 0
+	// resolves to 1s.
+	RetryAfter time.Duration
+	// Metrics receives queue and HTTP counters and backs GET /metrics.
+	// Nil resolves to a fresh private registry. To fold the search's own
+	// counters into the same exposition, pass the registry the Systems
+	// were built with (Options.Metrics).
+	Metrics *lucidscript.Metrics
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = lucidscript.NewMetrics()
+	}
+	return c
+}
+
+// dataset is one hosted dataset/corpus pair: the curated System and its
+// long-lived job queue.
+type dataset struct {
+	name  string
+	sys   *lucidscript.System
+	queue *lucidscript.JobQueue
+}
+
+// jobRecord tracks one submitted job for the life of the server.
+type jobRecord struct {
+	id        string
+	dataset   *dataset
+	job       *lucidscript.QueuedJob
+	submitted time.Time
+
+	// finished is stamped and the output hash computed exactly once, on
+	// the first status build after the job completes.
+	finalize sync.Once
+	finished time.Time
+	hash     string
+}
+
+// Server hosts the standardization service. Build it with NewServer, mount
+// Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	datasets map[string]*dataset
+	draining atomic.Bool
+
+	mu   sync.RWMutex
+	jobs map[string]*jobRecord
+	seq  atomic.Int64
+}
+
+// NewServer builds a server hosting one System per named dataset. Each
+// System's corpus was curated when the caller built it — NewServer starts
+// the per-dataset worker pools, so the server is serving-ready on return.
+func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, error) {
+	if len(systems) == 0 {
+		return nil, errors.New("serve: no datasets configured")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		datasets: make(map[string]*dataset, len(systems)),
+		jobs:     map[string]*jobRecord{},
+	}
+	for name, sys := range systems {
+		if sys == nil {
+			return nil, fmt.Errorf("serve: dataset %q has a nil System", name)
+		}
+		s.datasets[name] = &dataset{
+			name:  name,
+			sys:   sys,
+			queue: sys.NewJobQueue(cfg.Workers, cfg.QueueDepth),
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the service's routes. Mount it as an http.Server's (or
+// httptest.Server's) handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.instrument(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument(s.handleCancel))
+	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
+	return mux
+}
+
+// Shutdown drains the service: new submissions are refused with 503,
+// in-flight jobs finish, and still-queued jobs fail with
+// CodeShuttingDown. If ctx expires first, in-flight jobs are canceled and
+// complete with their partial-result-on-cancel semantics; Shutdown still
+// waits for them to land before returning ctx's error. Job status stays
+// readable afterward — closing the HTTP listener is the caller's move
+// (http.Server.Shutdown), made after this returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, d := range s.datasets {
+			d.queue.Close()
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.RLock()
+		for _, rec := range s.jobs {
+			rec.job.Cancel()
+		}
+		s.mu.RUnlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// instrument wraps a handler with the HTTP request/error counters.
+func (s *Server) instrument(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metric(obs.MHTTPRequests, 1)
+		h(w, r)
+	}
+}
+
+// handleSubmit admits one job: parse, resolve the dataset, enqueue, 202.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	d, ok := s.datasets[req.Dataset]
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeUnknownDataset, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		return
+	}
+	sc, err := lucidscript.ParseScript(req.Script)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("parsing script: %v", err))
+		return
+	}
+	ctx, cancel, err := jobContext(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	job, err := d.queue.Submit(ctx, sc)
+	if err != nil {
+		cancel()
+	}
+	switch {
+	case errors.Is(err, lucidscript.ErrQueueFull):
+		s.writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			fmt.Sprintf("dataset %q queue is full", req.Dataset))
+		return
+	case errors.Is(err, lucidscript.ErrQueueClosed):
+		s.writeUnavailable(w)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	rec := &jobRecord{
+		id:        fmt.Sprintf("j-%08d", s.seq.Add(1)),
+		dataset:   d,
+		job:       job,
+		submitted: time.Now().UTC(),
+	}
+	s.mu.Lock()
+	s.jobs[rec.id] = rec
+	s.mu.Unlock()
+	// Release the per-job timeout context once the job lands.
+	go func() {
+		<-job.Done()
+		cancel()
+	}()
+	s.writeJSON(w, http.StatusAccepted, s.status(rec))
+}
+
+// jobContext builds the submission-scoped context from per-job options.
+// The context is deliberately detached from the HTTP request's — the job
+// outlives the POST that created it — so the returned cancel must be
+// called when the job lands (or the submission fails).
+func jobContext(opts *JobOptions) (context.Context, context.CancelFunc, error) {
+	ctx := context.Background()
+	if opts == nil || opts.Timeout == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := time.ParseDuration(opts.Timeout)
+	if err != nil {
+		return nil, func() {}, fmt.Errorf("invalid options.timeout %q: %v", opts.Timeout, err)
+	}
+	if d <= 0 {
+		return nil, func() {}, fmt.Errorf("invalid options.timeout %q: must be positive", opts.Timeout)
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// handleGet reports one job's status.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec := s.lookup(r.PathValue("id"))
+	if rec == nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.status(rec))
+}
+
+// handleCancel cancels one job and returns its (possibly already final)
+// status. Canceling a finished job is a no-op, not an error.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec := s.lookup(r.PathValue("id"))
+	if rec == nil {
+		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	rec.job.Cancel()
+	s.writeJSON(w, http.StatusOK, s.status(rec))
+}
+
+// handleHealthz reports liveness and per-dataset queue snapshots.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Datasets: map[string]DatasetHealth{}}
+	if s.draining.Load() {
+		resp.Status = "draining"
+	}
+	for name, d := range s.datasets {
+		st := d.queue.Stats()
+		resp.Datasets[name] = DatasetHealth{
+			QueueDepth:    st.Depth,
+			QueueCapacity: st.Capacity,
+			Workers:       st.Workers,
+			Submitted:     st.Submitted,
+			Rejected:      st.Rejected,
+			Completed:     st.Completed,
+			Failed:        st.Failed,
+			CorpusScripts: d.sys.Stats().Scripts,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics dumps the configured registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Metrics.WritePrometheus(w)
+}
+
+// lookup resolves a job id to its record.
+func (s *Server) lookup(id string) *jobRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.jobs[id]
+}
+
+// status builds the wire status of one job from its live state.
+func (s *Server) status(rec *jobRecord) JobStatus {
+	st := JobStatus{
+		ID:          rec.id,
+		Dataset:     rec.dataset.name,
+		SubmittedAt: rec.submitted,
+	}
+	switch rec.job.State() {
+	case lucidscript.JobQueued:
+		st.State = StateQueued
+		return st
+	case lucidscript.JobRunning:
+		st.State = StateRunning
+		return st
+	}
+	res, err := rec.job.Result()
+	rec.finalize.Do(func() {
+		rec.finished = time.Now().UTC()
+		if err == nil && res != nil {
+			// The hash runs the standardized script once over the full
+			// sources; computed once per job, on the first status read
+			// after completion.
+			if h, herr := rec.dataset.sys.OutputHash(res.Script); herr == nil {
+				rec.hash = h
+			}
+		}
+	})
+	st.FinishedAt = &rec.finished
+	st.Result = toWireResult(res, rec.hash)
+	if err == nil {
+		st.State = StateDone
+		return st
+	}
+	st.Error = err.Error()
+	st.Code = errorCode(err)
+	if st.Code == CodeCanceled {
+		st.State = StateCanceled
+	} else {
+		st.State = StateFailed
+	}
+	return st
+}
+
+// errorCode maps a job error chain to its machine-readable code. Order
+// matters: an injected fault wrapped by the job layer should read as
+// fault_injected, not job_panicked.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, faults.ErrInjected):
+		return CodeFaultInjected
+	case errors.Is(err, lucidscript.ErrQueueClosed):
+		return CodeShuttingDown
+	case errors.Is(err, lucidscript.ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, lucidscript.ErrCanceled):
+		return CodeCanceled
+	case errors.Is(err, lucidscript.ErrJobPanicked):
+		return CodeJobPanicked
+	case errors.Is(err, lucidscript.ErrInputScriptFails):
+		return CodeInputScriptFails
+	}
+	return CodeInternal
+}
+
+// writeUnavailable is the draining 503.
+func (s *Server) writeUnavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	s.writeErrorBody(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error:        "server is shutting down",
+		Code:         CodeShuttingDown,
+		RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+	})
+}
+
+// writeError writes a non-2xx JSON error, attaching Retry-After on 429.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	resp := ErrorResponse{Error: msg, Code: code}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		resp.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
+	}
+	s.writeErrorBody(w, status, resp)
+}
+
+func (s *Server) writeErrorBody(w http.ResponseWriter, status int, resp ErrorResponse) {
+	s.metric(obs.MHTTPErrors, 1)
+	s.writeJSON(w, status, resp)
+}
+
+// writeJSON writes one JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// metric updates the server registry.
+func (s *Server) metric(name string, delta int64) {
+	s.cfg.Metrics.Counter(name).Add(delta)
+}
+
+// retryAfterSeconds renders a duration as the Retry-After header's integer
+// seconds, rounding up so "500ms" does not become "0".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

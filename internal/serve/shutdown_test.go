@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/faults"
+	"lucidscript/internal/gen"
+)
+
+// delayedSystem builds a System whose every job sleeps first, so tests can
+// deterministically observe running and queued jobs.
+func delayedSystem(t testing.TB, delay time.Duration) *lucidscript.System {
+	t.Helper()
+	opts := genOptions()
+	opts.Faults = faults.New(5, faults.Rule{
+		Site: faults.SiteBatchJob, Kind: faults.KindDelay, Prob: 1, Delay: delay,
+	})
+	return genSystem(t, 42, opts)
+}
+
+// TestServeGracefulShutdown is the drain contract end to end: with one
+// worker busy and one job queued, Shutdown lets the in-flight job finish
+// with a full result, fails the queued job with the shutting-down code,
+// rejects new submissions with 503, flips healthz to draining, and keeps
+// finished job statuses readable afterward.
+func TestServeGracefulShutdown(t *testing.T) {
+	sys := delayedSystem(t, 300*time.Millisecond)
+	srv, client := startServer(t, map[string]*lucidscript.System{"gen": sys},
+		Config{Workers: 1, QueueDepth: 2})
+
+	ctx := context.Background()
+	src := gen.New(3).ScriptSource()
+
+	running, err := client.Submit(ctx, "gen", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick it up so the next submission is queued,
+	// not running.
+	for {
+		st, err := client.Job(ctx, running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued, err := client.Submit(ctx, "gen", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+
+	// While draining: new submissions bounce with 503 and healthz says so.
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := client.Submit(ctx, "gen", src, nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit while draining err = %v, want ErrDraining", err)
+	}
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("healthz status = %q, want draining", h.Status)
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The in-flight job finished with a full result; the queued one was
+	// drained with the shutting-down code. Both stay readable post-drain.
+	st, err := client.Job(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || st.Result == nil {
+		t.Errorf("in-flight job after drain: state=%q result=%v, want done with result", st.State, st.Result)
+	}
+	st, err = client.Job(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || st.Code != CodeShuttingDown {
+		t.Errorf("queued job after drain: state=%q code=%q, want %q/%q",
+			st.State, st.Code, StateFailed, CodeShuttingDown)
+	}
+}
+
+// TestServeShutdownDeadline expires the drain context while a job is still
+// in flight: Shutdown must cancel it, wait for it to land, and return the
+// context's error; the job reports the canceled state.
+func TestServeShutdownDeadline(t *testing.T) {
+	sys := delayedSystem(t, 400*time.Millisecond)
+	srv, client := startServer(t, map[string]*lucidscript.System{"gen": sys},
+		Config{Workers: 1, QueueDepth: 1})
+
+	ctx := context.Background()
+	sub, err := client.Submit(ctx, "gen", gen.New(3).ScriptSource(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := client.Job(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded", err)
+	}
+	// Shutdown already waited for the canceled job to land, so its status
+	// is terminal now.
+	st, err := client.Job(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled || st.Code != CodeCanceled {
+		t.Errorf("in-flight job after forced drain: state=%q code=%q, want %q/%q",
+			st.State, st.Code, StateCanceled, CodeCanceled)
+	}
+}
+
+// TestServeShutdownClosesListener is the full service teardown as lsserved
+// performs it: drain the Server, then shut the http.Server; the port must
+// actually stop accepting work.
+func TestServeShutdownClosesListener(t *testing.T) {
+	sys := genSystem(t, 42, genOptions())
+	srv, err := NewServer(map[string]*lucidscript.System{"gen": sys}, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	client := NewClient(hs.URL, hs.Client())
+
+	ctx := context.Background()
+	sub, err := client.Submit(ctx, "gen", gen.New(3).ScriptSource(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, sub.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	if _, err := client.Healthz(ctx); err == nil {
+		t.Error("healthz still answers after the listener closed")
+	}
+}

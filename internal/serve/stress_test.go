@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/faults"
+	"lucidscript/internal/gen"
+)
+
+// TestServeConcurrentClientsStress is the served counterpart of the batch
+// generative stress test: several independent serve.Clients hammer one
+// dataset concurrently with seeded random scripts, and every served result
+// must come out byte-identical to a direct sequential Standardize of the
+// same script on an identically-built System. Run under -race this is the
+// data-race gate for the whole HTTP → queue → engine → shared-cache path.
+func TestServeConcurrentClientsStress(t *testing.T) {
+	const (
+		clients       = 4
+		jobsPerClient = 4
+	)
+	sys := genSystem(t, 42, genOptions())
+	_, client := startServer(t, map[string]*lucidscript.System{"gen": sys},
+		Config{Workers: 4, QueueDepth: clients * jobsPerClient})
+
+	// One generator stream hands each client its own distinct scripts.
+	jobs := gen.New(99).Scripts(clients * jobsPerClient)
+
+	direct := genSystem(t, 42, genOptions())
+	want := make([]string, len(jobs))
+	for i, su := range jobs {
+		res, err := direct.Standardize(su)
+		if err != nil {
+			t.Fatalf("direct %d: %v", i, err)
+		}
+		want[i] = res.Script.Source()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for k := 0; k < jobsPerClient; k++ {
+				i := c*jobsPerClient + k
+				sub, err := client.Submit(ctx, "gen", jobs[i].Source(), nil)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				st, err := client.Wait(ctx, sub.ID, 5*time.Millisecond)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if st.State != StateDone {
+					t.Errorf("client %d job %d state = %q (error %q, code %q)", c, i, st.State, st.Error, st.Code)
+					continue
+				}
+				if st.Result.Script != want[i] {
+					t.Errorf("client %d job %d served script diverges from direct sequential", c, i)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", c, err)
+		}
+	}
+}
+
+// TestServeStressWithFaultArm re-runs a served workload with a
+// deterministic fault armed at the batch.job site for exactly one queue id:
+// that job alone must fail, with the fault_injected code, while every other
+// job still comes out byte-identical to a direct sequential run.
+func TestServeStressWithFaultArm(t *testing.T) {
+	const jobCount = 8
+	const faultedID = "5" // queue ids are dense, so the 6th admitted job
+
+	opts := genOptions()
+	opts.Faults = faults.New(17, faults.Rule{
+		Site: faults.SiteBatchJob, Key: faultedID, Kind: faults.KindError, Prob: 1,
+	})
+	sys := genSystem(t, 42, opts)
+	_, client := startServer(t, map[string]*lucidscript.System{"gen": sys},
+		Config{Workers: 3, QueueDepth: jobCount})
+
+	jobs := gen.New(99).Scripts(jobCount)
+	direct := genSystem(t, 42, genOptions()) // fault-free reference
+	want := make([]string, len(jobs))
+	for i, su := range jobs {
+		res, err := direct.Standardize(su)
+		if err != nil {
+			t.Fatalf("direct %d: %v", i, err)
+		}
+		want[i] = res.Script.Source()
+	}
+
+	// Submit sequentially so submission order == queue id, making the
+	// faulted HTTP job deterministic; jobs still run concurrently on the
+	// 3-worker pool.
+	ctx := context.Background()
+	ids := make([]string, len(jobs))
+	for i, su := range jobs {
+		sub, err := client.Submit(ctx, "gen", su.Source(), nil)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids[i] = sub.ID
+	}
+
+	var wg sync.WaitGroup
+	final := make([]*JobStatus, len(jobs))
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := client.Wait(ctx, ids[i], 5*time.Millisecond)
+			if err != nil {
+				t.Errorf("Wait %d: %v", i, err)
+				return
+			}
+			final[i] = st
+		}(i)
+	}
+	wg.Wait()
+
+	failed := 0
+	for i, st := range final {
+		if st == nil {
+			continue
+		}
+		if i == 5 {
+			if st.State != StateFailed || st.Code != CodeFaultInjected {
+				t.Errorf("faulted job state/code = %q/%q, want %q/%q",
+					st.State, st.Code, StateFailed, CodeFaultInjected)
+			}
+			if st.Error == "" {
+				t.Error("faulted job has empty error")
+			}
+			failed++
+			continue
+		}
+		if st.State != StateDone {
+			t.Errorf("job %d state = %q (error %q, code %q)", i, st.State, st.Error, st.Code)
+			failed++
+			continue
+		}
+		if st.Result.Script != want[i] {
+			t.Errorf("job %d served script diverges from fault-free direct run", i)
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d jobs failed, want exactly the faulted one", failed)
+	}
+}

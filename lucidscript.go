@@ -30,6 +30,7 @@ import (
 
 	"lucidscript/internal/core"
 	"lucidscript/internal/entropy"
+	"lucidscript/internal/faults"
 	"lucidscript/internal/frame"
 	"lucidscript/internal/intent"
 	"lucidscript/internal/interp"
@@ -66,6 +67,14 @@ type ExecLimits = interp.Limits
 // column explosions, self-join row blowups, unbounded string concatenation)
 // long before they exhaust process memory.
 func DefaultExecLimits() *ExecLimits { return interp.DefaultLimits() }
+
+// FaultInjector is the deterministic, seeded chaos-injection hook from the
+// fault-containment layer (PR 4), re-exported so service-level stress
+// tests can arm faults through Options.Faults. Whether a given injection
+// site fires is a pure function of (seed, rule, site, key) — independent
+// of timing and goroutine interleaving — so chaos runs are reproducible
+// under the race detector.
+type FaultInjector = faults.Injector
 
 // StatementError pinpoints the statement at which a governed execution
 // failed: its 1-based line, its source text, and the underlying cause.
@@ -185,6 +194,12 @@ type Options struct {
 	// process. Nil — the default — disables the governor with zero
 	// overhead; DefaultExecLimits returns the recommended budgets.
 	ExecLimits *ExecLimits
+	// Faults, when non-nil, arms the deterministic chaos-injection hook at
+	// every site the pipeline exposes (interpreter statements, cache steps,
+	// curation, batch/queue jobs). It exists for service-level chaos and
+	// stress tests — production callers leave it nil, which reduces every
+	// injection site to a single pointer check.
+	Faults *FaultInjector
 }
 
 // DefaultOptions returns the paper's default configuration with every
@@ -535,6 +550,7 @@ func NewSystem(corpus []*Script, sources map[string]*Frame, opts Options) (*Syst
 	cfg.Tracer = opts.Tracer
 	cfg.Metrics = opts.Metrics
 	cfg.Limits = opts.ExecLimits
+	cfg.Faults = opts.Faults
 	cfg.Constraint = opts.constraint()
 	std := core.NewWeighted(corpus, opts.Weights, sources, cfg)
 	if opts.Auto {

@@ -1,0 +1,155 @@
+package lucidscript
+
+import (
+	"context"
+	"errors"
+	"regexp"
+	"testing"
+)
+
+const inputScript = `import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df[df["Age"] > 25]
+y = df["Outcome"]
+`
+
+// TestJobQueueFacade exercises the serving facade end to end in-process:
+// jobs submitted through a JobQueue return results identical to
+// System.Standardize, the handle's lifecycle accessors work, and Close
+// makes the queue refuse new work.
+func TestJobQueueFacade(t *testing.T) {
+	sys := newTestSystem(t, Options{Tau: 0.9, SeqLength: 3})
+	su, err := ParseScript(inputScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Standardize(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jq := sys.NewJobQueue(2, 0)
+	defer jq.Close()
+	ctx := context.Background()
+
+	job, err := jq.Submit(ctx, su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID() != 0 {
+		t.Errorf("first job ID = %d, want 0", job.ID())
+	}
+	res, err := job.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Script.Source() != want.Script.Source() {
+		t.Errorf("queued result diverges from Standardize:\nqueued:\n%s\ndirect:\n%s",
+			res.Script.Source(), want.Script.Source())
+	}
+	select {
+	case <-job.Done():
+	default:
+		t.Error("Done not closed after Wait returned")
+	}
+	if job.State() != JobDone {
+		t.Errorf("state = %v, want JobDone", job.State())
+	}
+	if res2, err := job.Result(); err != nil || res2.Script.Source() != want.Script.Source() {
+		t.Errorf("Result() = %v, %v after Wait", res2, err)
+	}
+
+	st := jq.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Failed != 0 {
+		t.Errorf("stats = %+v, want 1 submitted/completed", st)
+	}
+	if st.Workers != 2 || st.Capacity != 4 {
+		t.Errorf("stats = %+v, want 2 workers, capacity 4 (2x workers default)", st)
+	}
+
+	jq.Close()
+	if _, err := jq.Submit(ctx, su); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("Submit after Close err = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestJobQueueCancel pins the facade's cancellation path: a canceled job
+// completes with ErrCanceled.
+func TestJobQueueCancel(t *testing.T) {
+	sys := newTestSystem(t, Options{Tau: 0.9, SeqLength: 3})
+	su, err := ParseScript(inputScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jq := sys.NewJobQueue(1, 2)
+	defer jq.Close()
+
+	// A pre-canceled submission context makes the outcome deterministic:
+	// the job completes with ErrCanceled no matter when the worker gets it.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job, err := jq.Submit(ctx, su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled job err = %v, want ErrCanceled", err)
+	}
+	job.Cancel() // canceling a finished job is a no-op
+}
+
+// TestOutputHash pins the output-table digest the CLI prints and the HTTP
+// service returns: 64 hex chars, deterministic, equal for scripts with
+// equal output tables, different when the output differs.
+func TestOutputHash(t *testing.T) {
+	sys := newTestSystem(t, Options{Tau: 0.9, SeqLength: 3})
+	su, err := ParseScript(inputScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := sys.OutputHash(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(h1) {
+		t.Fatalf("hash = %q, want 64 lowercase hex chars", h1)
+	}
+	h2, err := sys.OutputHash(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("hash not deterministic: %q != %q", h1, h2)
+	}
+
+	other, err := ParseScript(`import pandas as pd
+df = pd.read_csv("diabetes.csv")
+df = df[df["Age"] > 40]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, err := sys.OutputHash(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("different output tables hash equal")
+	}
+
+	if _, err := sys.OutputHash(MustParseScript(t, "import pandas as pd\nbroken = missing.read()\n")); err == nil {
+		t.Error("hashing a failing script did not error")
+	}
+}
+
+// MustParseScript parses or fails the test; local helper for inputs where
+// parse success is not itself under test. Scripts that do not parse at all
+// are skipped (the grammar is not the subject here).
+func MustParseScript(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := ParseScript(src)
+	if err != nil {
+		t.Skipf("fixture script does not parse: %v", err)
+	}
+	return s
+}
