@@ -69,6 +69,7 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 0, "queued jobs per dataset before 429s (default 2x serve-workers)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none); jobs may lower it per request")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		jobRetention = flag.Duration("job-retention", 15*time.Minute, "how long finished job statuses stay pollable before eviction")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
 		dataPaths    stringList
 		datasetSpecs stringList
@@ -131,10 +132,11 @@ func main() {
 	}
 
 	srv, err := serve.NewServer(systems, serve.Config{
-		Workers:    *serveWorkers,
-		QueueDepth: *queueDepth,
-		RetryAfter: *retryAfter,
-		Metrics:    metrics,
+		Workers:      *serveWorkers,
+		QueueDepth:   *queueDepth,
+		RetryAfter:   *retryAfter,
+		JobRetention: *jobRetention,
+		Metrics:      metrics,
 	})
 	if err != nil {
 		fatal(err)

@@ -215,6 +215,8 @@ func main() {
 	// a CLI run and a served run are directly comparable.
 	if hash, err := sys.OutputHash(res.Script); err == nil {
 		fmt.Fprintf(os.Stderr, "output hash: %s\n", hash)
+	} else {
+		fmt.Fprintf(os.Stderr, "output hash unavailable: %v\n", err)
 	}
 	for _, tr := range res.Transformations {
 		fmt.Fprintln(os.Stderr, "  "+tr)

@@ -75,16 +75,13 @@ func (j *QueuedJob) Done() <-chan struct{} { return j.done }
 // semantics of StandardizeContext. Safe to call at any time, repeatedly.
 func (j *QueuedJob) Cancel() { j.cancel() }
 
-// Result returns the job's outcome. It must only be called after Done is
-// closed; both values follow StandardizeContext conventions (a partial
-// Result can accompany a cancellation error).
+// Result blocks until the job finishes (Done is closed) and returns its
+// outcome; both values follow StandardizeContext conventions (a partial
+// Result can accompany a cancellation error). Callers that already watched
+// Done return immediately; use Wait for a bounded block.
 func (j *QueuedJob) Result() (*Result, error) {
-	select {
-	case <-j.done:
-		return j.res, j.err
-	default:
-		panic("core: QueuedJob.Result called before Done")
-	}
+	<-j.done
+	return j.res, j.err
 }
 
 // Wait blocks until the job finishes or ctx is canceled. A ctx cancellation
@@ -99,11 +96,13 @@ func (j *QueuedJob) Wait(ctx context.Context) (*Result, error) {
 	}
 }
 
-// finish records the outcome and releases waiters.
+// finish records the outcome and releases waiters. done is closed before
+// the state flips to JobDone, so an observer that reads State() == JobDone
+// is guaranteed a non-blocking Result.
 func (j *QueuedJob) finish(res *Result, err error) {
 	j.res, j.err = res, err
-	j.state.Store(int32(JobDone))
 	close(j.done)
+	j.state.Store(int32(JobDone))
 	j.cancel()
 }
 
@@ -253,24 +252,29 @@ func (q *Queue) Stats() QueueStats {
 	}
 }
 
-// worker consumes jobs until the queue closes. The closed check is split
-// in two so a worker that just finished a job prefers shutdown over a
-// buffered job — Close's contract is that buffered jobs drain with
-// ErrQueueClosed, not that they race the workers for execution.
+// worker consumes jobs until the queue closes. A buffered job received
+// while q.closed is also ready is re-checked after the select — Go picks
+// between ready cases randomly, so without the re-check a buffered job
+// could race a concurrent Close into execution. Close's contract is that
+// buffered jobs drain with ErrQueueClosed once shutdown has begun, and the
+// re-check is what delivers it: any job pulled at or after the close is
+// failed here instead of run.
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for {
 		select {
 		case <-q.closed:
 			return
-		default:
-		}
-		select {
-		case <-q.closed:
-			return
 		case j := <-q.jobs:
 			q.depth.Add(-1)
 			q.metricAdd(obs.MQueueDepth, -1)
+			select {
+			case <-q.closed:
+				q.recordOutcome(ErrQueueClosed)
+				j.finish(nil, ErrQueueClosed)
+				return
+			default:
+			}
 			q.run(j)
 		}
 	}

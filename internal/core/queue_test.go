@@ -283,8 +283,11 @@ func TestQueueFaultInjection(t *testing.T) {
 	}
 }
 
-// TestQueueResultBeforeDonePanics pins the misuse contract.
-func TestQueueResultBeforeDonePanics(t *testing.T) {
+// TestQueueResultBeforeDoneBlocks pins the early-call contract: Result
+// invoked before the job lands blocks until Done closes instead of
+// panicking, so a status poller that observes JobDone (or just calls
+// Result eagerly) can never crash in the store-to-close window.
+func TestQueueResultBeforeDoneBlocks(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Faults = faults.New(3, faults.Rule{
 		Site: faults.SiteBatchJob, Kind: faults.KindDelay, Prob: 1, Delay: 100 * time.Millisecond,
@@ -297,13 +300,16 @@ func TestQueueResultBeforeDonePanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Result before Done did not panic")
-		}
-		<-h.Done()
-	}()
-	h.Result()
+	// Called well before the delayed job can have finished.
+	res, err := h.Result()
+	if err != nil || res == nil {
+		t.Errorf("Result() = %v, %v, want a result", res, err)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Error("Result returned before Done closed")
+	}
 }
 
 // TestJobStateString pins the wire names.

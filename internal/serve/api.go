@@ -124,6 +124,9 @@ type JobResult struct {
 	// against lsstd's "output hash" stderr line to confirm the service
 	// and the CLI produce the same table.
 	OutputHash string `json:"output_hash,omitempty"`
+	// OutputHashError explains an absent OutputHash (e.g. the script
+	// produces no output table), so a missing hash is never silent.
+	OutputHashError string `json:"output_hash_error,omitempty"`
 	// REBefore/REAfter/ImprovementPct/IntentValue mirror
 	// lucidscript.Result.
 	REBefore       float64 `json:"re_before"`

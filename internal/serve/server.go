@@ -29,6 +29,11 @@ type Config struct {
 	// RetryAfter is the client back-off hint on 429/503 responses; ≤ 0
 	// resolves to 1s.
 	RetryAfter time.Duration
+	// JobRetention is how long a finished job's record (status, result,
+	// output hash) stays pollable before it is evicted and GET/DELETE on
+	// its id return 404; ≤ 0 resolves to 15m. Without eviction the job map
+	// would grow with every submission for the life of the server.
+	JobRetention time.Duration
 	// Metrics receives queue and HTTP counters and backs GET /metrics.
 	// Nil resolves to a fresh private registry. To fold the search's own
 	// counters into the same exposition, pass the registry the Systems
@@ -41,6 +46,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 15 * time.Minute
+	}
 	if c.Metrics == nil {
 		c.Metrics = lucidscript.NewMetrics()
 	}
@@ -48,25 +56,30 @@ func (c Config) withDefaults() Config {
 }
 
 // dataset is one hosted dataset/corpus pair: the curated System and its
-// long-lived job queue.
+// long-lived job queue. hashSem bounds concurrent output-hash executions
+// to the queue's worker count, so a burst of completions cannot run more
+// full-data passes at once than the queue itself would admit.
 type dataset struct {
-	name  string
-	sys   *lucidscript.System
-	queue *lucidscript.JobQueue
+	name    string
+	sys     *lucidscript.System
+	queue   *lucidscript.JobQueue
+	hashSem chan struct{}
 }
 
-// jobRecord tracks one submitted job for the life of the server.
+// jobRecord tracks one submitted job until its retention window expires.
 type jobRecord struct {
 	id        string
 	dataset   *dataset
 	job       *lucidscript.QueuedJob
 	submitted time.Time
 
-	// finished is stamped and the output hash computed exactly once, on
-	// the first status build after the job completes.
-	finalize sync.Once
-	finished time.Time
-	hash     string
+	// finalized is closed by the per-job finalizer goroutine once
+	// finished, hash, and hashErr are recorded; status only reads them
+	// after the close, so no lock is needed.
+	finalized chan struct{}
+	finished  time.Time
+	hash      string
+	hashErr   error
 }
 
 // Server hosts the standardization service. Build it with NewServer, mount
@@ -98,11 +111,13 @@ func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, err
 		if sys == nil {
 			return nil, fmt.Errorf("serve: dataset %q has a nil System", name)
 		}
-		s.datasets[name] = &dataset{
+		d := &dataset{
 			name:  name,
 			sys:   sys,
 			queue: sys.NewJobQueue(cfg.Workers, cfg.QueueDepth),
 		}
+		d.hashSem = make(chan struct{}, d.queue.Stats().Workers)
+		s.datasets[name] = d
 	}
 	return s, nil
 }
@@ -123,9 +138,11 @@ func (s *Server) Handler() http.Handler {
 // in-flight jobs finish, and still-queued jobs fail with
 // CodeShuttingDown. If ctx expires first, in-flight jobs are canceled and
 // complete with their partial-result-on-cancel semantics; Shutdown still
-// waits for them to land before returning ctx's error. Job status stays
-// readable afterward — closing the HTTP listener is the caller's move
-// (http.Server.Shutdown), made after this returns.
+// waits for them to land — including their finalizers (output hash) — so
+// every recorded job reads as terminal before this returns. Job status
+// stays readable afterward (until its retention window expires); closing
+// the HTTP listener is the caller's move (http.Server.Shutdown), made
+// after this returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -133,6 +150,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		defer close(done)
 		for _, d := range s.datasets {
 			d.queue.Close()
+		}
+		s.mu.RLock()
+		recs := make([]*jobRecord, 0, len(s.jobs))
+		for _, rec := range s.jobs {
+			recs = append(recs, rec)
+		}
+		s.mu.RUnlock()
+		for _, rec := range recs {
+			<-rec.finalized
 		}
 	}()
 	select {
@@ -207,16 +233,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		dataset:   d,
 		job:       job,
 		submitted: time.Now().UTC(),
+		finalized: make(chan struct{}),
 	}
 	s.mu.Lock()
 	s.jobs[rec.id] = rec
 	s.mu.Unlock()
-	// Release the per-job timeout context once the job lands.
-	go func() {
-		<-job.Done()
-		cancel()
-	}()
+	go s.finalizeJob(rec, cancel)
 	s.writeJSON(w, http.StatusAccepted, s.status(rec))
+}
+
+// finalizeJob is each job's completion path, run on a per-job goroutine:
+// it waits for the job to land, releases the per-job timeout context,
+// computes the output hash off the HTTP handlers (bounded by the
+// dataset's hashSem so completions cannot out-run the queue's admission
+// control), publishes the terminal fields by closing rec.finalized, and
+// schedules the record's eviction after the retention window.
+func (s *Server) finalizeJob(rec *jobRecord, cancel context.CancelFunc) {
+	<-rec.job.Done()
+	cancel()
+	res, err := rec.job.Result()
+	if err == nil && res != nil {
+		rec.dataset.hashSem <- struct{}{}
+		rec.hash, rec.hashErr = rec.dataset.sys.OutputHash(res.Script)
+		<-rec.dataset.hashSem
+	}
+	rec.finished = time.Now().UTC()
+	close(rec.finalized)
+	time.AfterFunc(s.cfg.JobRetention, func() {
+		s.mu.Lock()
+		delete(s.jobs, rec.id)
+		s.mu.Unlock()
+	})
 }
 
 // jobContext builds the submission-scoped context from per-job options.
@@ -296,35 +343,33 @@ func (s *Server) lookup(id string) *jobRecord {
 	return s.jobs[id]
 }
 
-// status builds the wire status of one job from its live state.
+// status builds the wire status of one job from its live state. The
+// terminal branch is gated on rec.finalized — not the job's own State —
+// so a status read can never observe a half-published completion: until
+// the finalizer has recorded the finish time and output hash, the job
+// reports queued/running.
 func (s *Server) status(rec *jobRecord) JobStatus {
 	st := JobStatus{
 		ID:          rec.id,
 		Dataset:     rec.dataset.name,
 		SubmittedAt: rec.submitted,
 	}
-	switch rec.job.State() {
-	case lucidscript.JobQueued:
-		st.State = StateQueued
-		return st
-	case lucidscript.JobRunning:
-		st.State = StateRunning
+	select {
+	case <-rec.finalized:
+	default:
+		if rec.job.State() == lucidscript.JobRunning {
+			st.State = StateRunning
+		} else {
+			st.State = StateQueued
+		}
 		return st
 	}
 	res, err := rec.job.Result()
-	rec.finalize.Do(func() {
-		rec.finished = time.Now().UTC()
-		if err == nil && res != nil {
-			// The hash runs the standardized script once over the full
-			// sources; computed once per job, on the first status read
-			// after completion.
-			if h, herr := rec.dataset.sys.OutputHash(res.Script); herr == nil {
-				rec.hash = h
-			}
-		}
-	})
 	st.FinishedAt = &rec.finished
 	st.Result = toWireResult(res, rec.hash)
+	if rec.hashErr != nil && st.Result != nil {
+		st.Result.OutputHashError = rec.hashErr.Error()
+	}
 	if err == nil {
 		st.State = StateDone
 		return st

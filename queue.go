@@ -111,9 +111,10 @@ func (j *QueuedJob) Done() <-chan struct{} { return j.j.Done() }
 // partial-result-on-cancel semantics. Safe to call at any time.
 func (j *QueuedJob) Cancel() { j.j.Cancel() }
 
-// Result returns the job's outcome; call only after Done is closed. Both
-// values follow StandardizeContext conventions — a partial Result can
-// accompany ErrCanceled / ErrDeadlineExceeded.
+// Result blocks until the job finishes (Done is closed) and returns its
+// outcome. Both values follow StandardizeContext conventions — a partial
+// Result can accompany ErrCanceled / ErrDeadlineExceeded. Use Wait for a
+// bounded block.
 func (j *QueuedJob) Result() (*Result, error) {
 	res, err := j.j.Result()
 	return j.convert(res), err
