@@ -1,0 +1,64 @@
+// Command benchgate compares a perf report produced by `lsbench -exp
+// regress -json report.json` against the committed BENCH_batch.json /
+// BENCH_serve.json baselines and exits non-zero on regression.
+//
+// Usage:
+//
+//	lsbench -exp regress -batch-workers 1 -json report.json
+//	benchgate -report report.json
+//	benchgate -report report.json -warn 1.5 -fail 2.0
+//
+// Wall-clock comparisons across machines are noisy, so the gate is
+// two-tier: ratios above -warn are printed but tolerated, ratios above
+// -fail (or any non-identical output) exit 1. CI runs it with the generous
+// defaults; refresh the baselines on the reference machine when the code
+// gets legitimately faster or slower.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lucidscript/internal/bench"
+)
+
+func main() {
+	var (
+		report    = flag.String("report", "", "regress report JSON (from lsbench -exp regress -json)")
+		batchBase = flag.String("batch-baseline", "BENCH_batch.json", "committed batch baseline")
+		serveBase = flag.String("serve-baseline", "BENCH_serve.json", "committed serve baseline")
+		warn      = flag.Float64("warn", 1.5, "warn when current/baseline wall-clock exceeds this ratio")
+		fail      = flag.Float64("fail", 2.0, "fail when current/baseline wall-clock exceeds this ratio")
+	)
+	flag.Parse()
+	if *report == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -report is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := bench.LoadRegressReport(*report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	bb, err := bench.LoadBatchBaseline(*batchBase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	sb, err := bench.LoadServeBaseline(*serveBase)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	findings := bench.Gate(rep, bb, sb, bench.GateConfig{WarnRatio: *warn, FailRatio: *fail})
+	fmt.Println(bench.GateTable(findings).Render())
+	fails, _, line := bench.GateSummary(findings)
+	fmt.Println(line)
+	if fails > 0 {
+		os.Exit(1)
+	}
+}

@@ -23,9 +23,11 @@ import (
 )
 
 func main() {
-	// The serve experiment lives in its own package because it depends on
-	// the facade (see bench.ServeRunner); link it into the registry here.
+	// The serve and regress experiments live in their own package because
+	// they depend on the facade (see bench.ServeRunner); link them into the
+	// registry here.
 	bench.ServeRunner = serveexp.Run
+	bench.RegressRunner = serveexp.Regress
 	var (
 		exp         = flag.String("exp", "all", "experiment id (e.g. table5, fig9) or 'all'")
 		list        = flag.Bool("list", false, "list experiments and exit")
@@ -40,7 +42,11 @@ func main() {
 		maxCells    = flag.Int("max-cells", 0, "cap rows*cols of any value a candidate materializes (0 = governor off; setting this or -max-steps enables default budgets for the rest)")
 		maxSteps    = flag.Int("max-steps", 0, "cap statements per candidate execution (0 = governor off)")
 		batchWork   = flag.Int("batch-workers", 0, "worker pool size for the batch experiment (0 = GOMAXPROCS)")
-		jsonPath    = flag.String("json", "", "also write machine-readable results (batch and serve experiments) to this JSON file")
+		jsonPath    = flag.String("json", "", "also write machine-readable results (batch, serve, regress experiments) to this JSON file")
+		batchBase   = flag.String("batch-baseline", "", "committed batch baseline for the regress experiment (e.g. BENCH_batch.json)")
+		serveBase   = flag.String("serve-baseline", "", "committed serve baseline for the regress experiment (e.g. BENCH_serve.json)")
+		gateWarn    = flag.Float64("gate-warn", 1.5, "regress gate: warn when current/baseline wall-clock exceeds this ratio")
+		gateFail    = flag.Float64("gate-fail", 2.0, "regress gate: fail when current/baseline wall-clock exceeds this ratio")
 		quiet       = flag.Bool("q", false, "suppress progress output")
 		trace       = flag.Bool("trace", false, "stream structured search events to stderr")
 		metricsDump = flag.Bool("metrics-dump", false, "print cumulative search counters in Prometheus text format to stderr on exit")
@@ -68,6 +74,9 @@ func main() {
 		DisableExecCache:  *execCache == "off",
 		BatchWorkers:      *batchWork,
 		JSONPath:          *jsonPath,
+		BatchBaselinePath: *batchBase,
+		ServeBaselinePath: *serveBase,
+		Gate:              bench.GateConfig{WarnRatio: *gateWarn, FailRatio: *gateFail},
 	}
 	if *maxCells > 0 || *maxSteps > 0 {
 		limits := interp.DefaultLimits()

@@ -2,9 +2,7 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -42,6 +40,23 @@ type BatchResult struct {
 // once, shares the execution-prefix cache, and fans jobs across workers;
 // outputs must stay byte-identical to the sequential runs.
 func Batch(opts Options) (*Table, error) {
+	records, table, err := BatchRecords(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.JSONPath != "" {
+		if err := writeJSON(opts.JSONPath, records); err != nil {
+			return nil, err
+		}
+		opts.logf("batch results written to %s", opts.JSONPath)
+	}
+	return table, nil
+}
+
+// BatchRecords runs the batch experiment and returns the per-dataset
+// records alongside the rendered table, without touching Options.JSONPath.
+// The regress experiment reuses it to assemble a combined report.
+func BatchRecords(opts Options) ([]BatchResult, *Table, error) {
 	opts = opts.withDefaults()
 	workers := opts.BatchWorkers
 	if workers <= 0 {
@@ -56,7 +71,7 @@ func Batch(opts Options) (*Table, error) {
 	for _, name := range opts.Datasets {
 		gen, err := gc.get(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		corpus := gen.ScriptsOnly()
 		jobs := gen.Sample(opts.ScriptsPerDataset, opts.Seed+17)
@@ -80,7 +95,7 @@ func Batch(opts Options) (*Table, error) {
 				std := core.New(corpus, gen.Sources, cfg)
 				res, err := std.Standardize(su)
 				if err != nil {
-					return nil, fmt.Errorf("bench: %s sequential job %d: %w", name, i, err)
+					return nil, nil, fmt.Errorf("bench: %s sequential job %d: %w", name, i, err)
 				}
 				seqOut[i] = res.Output.Source()
 			}
@@ -101,10 +116,10 @@ func Batch(opts Options) (*Table, error) {
 			cacheHits = 0
 			for i := range jobs {
 				if errs[i] != nil {
-					return nil, fmt.Errorf("bench: %s batch job %d: %w", name, i, errs[i])
+					return nil, nil, fmt.Errorf("bench: %s batch job %d: %w", name, i, errs[i])
 				}
 				if results[i].Output.Source() != seqOut[i] {
-					return nil, fmt.Errorf("bench: %s batch output diverges from sequential", name)
+					return nil, nil, fmt.Errorf("bench: %s batch output diverges from sequential", name)
 				}
 				cacheHits += results[i].CacheStats.Hits
 			}
@@ -159,15 +174,5 @@ func Batch(opts Options) (*Table, error) {
 			fmt.Sprintf("%d", total.CacheHits),
 		})
 	}
-	if opts.JSONPath != "" {
-		data, err := json.MarshalIndent(records, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
-			return nil, fmt.Errorf("bench: writing %s: %w", opts.JSONPath, err)
-		}
-		opts.logf("batch results written to %s", opts.JSONPath)
-	}
-	return table, nil
+	return records, table, nil
 }

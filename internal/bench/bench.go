@@ -49,8 +49,16 @@ type Options struct {
 	// (default GOMAXPROCS).
 	BatchWorkers int
 	// JSONPath, when set, makes experiments with machine-readable output
-	// (currently "batch" and "serve") also write a JSON record file there.
+	// (currently "batch", "serve", and "regress") also write a JSON record
+	// file there.
 	JSONPath string
+	// BatchBaselinePath / ServeBaselinePath point the "regress" experiment
+	// at committed baseline files; when either is set the fresh replay is
+	// gated against it (see GateConfig).
+	BatchBaselinePath string
+	ServeBaselinePath string
+	// Gate tunes the regression thresholds for the "regress" experiment.
+	Gate GateConfig
 	// Progress receives one line per unit of work when non-nil.
 	Progress io.Writer
 	// Tracer, when non-nil, receives structured search events from every

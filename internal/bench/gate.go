@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ServeResult is the JSON shape of one "serve" experiment record: the HTTP
+// standardization service (submit over the wire, poll to completion) versus
+// direct in-process batch calls on the same jobs. The type lives here (and
+// not in serveexp, which produces it) so the regression gate can compare
+// reports against committed baselines without importing the facade.
+type ServeResult struct {
+	Dataset string `json:"dataset"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	// Reps is how many times each arm ran; the times below are the best
+	// rep, the standard way to cut scheduler noise out of wall-clock runs.
+	Reps     int     `json:"reps"`
+	DirectMS float64 `json:"direct_ms"`
+	ServedMS float64 `json:"served_ms"`
+	// OverheadPct is (served - direct) / direct in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	// PerJobOverheadMS is the absolute service tax amortized per job.
+	PerJobOverheadMS float64 `json:"per_job_overhead_ms"`
+	// Identical reports that every served standardized script matched its
+	// direct counterpart byte for byte (the experiment fails otherwise).
+	Identical bool `json:"identical"`
+}
+
+// RegressReport is the machine-readable output of the "regress" experiment:
+// a fresh replay of the batch and serve experiments, comparable against the
+// committed BENCH_batch.json / BENCH_serve.json baselines.
+type RegressReport struct {
+	Batch []BatchResult `json:"batch"`
+	Serve []ServeResult `json:"serve"`
+}
+
+// GateConfig tunes the regression gate. Wall-clock comparisons across
+// machines are noisy, so the gate has two tiers: findings above the warn
+// ratio are reported but tolerated, findings above the fail ratio (or any
+// non-identical output) flunk the gate.
+type GateConfig struct {
+	// WarnRatio flags current/baseline wall-clock ratios above it (default 1.5).
+	WarnRatio float64
+	// FailRatio flunks ratios above it (default 2.0).
+	FailRatio float64
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.WarnRatio == 0 {
+		c.WarnRatio = 1.5
+	}
+	if c.FailRatio == 0 {
+		c.FailRatio = 2.0
+	}
+	return c
+}
+
+// Gate severity levels, ordered.
+const (
+	GateOK   = "ok"
+	GateWarn = "warn"
+	GateFail = "fail"
+)
+
+// GateFinding is one baseline comparison: a wall-clock metric of one dataset
+// in one experiment, current run vs committed baseline.
+type GateFinding struct {
+	Experiment string  `json:"experiment"` // "batch" or "serve"
+	Dataset    string  `json:"dataset"`
+	Metric     string  `json:"metric"`
+	BaselineMS float64 `json:"baseline_ms"`
+	CurrentMS  float64 `json:"current_ms"`
+	Ratio      float64 `json:"ratio"`
+	Level      string  `json:"level"`
+	Note       string  `json:"note,omitempty"`
+}
+
+func gateLevel(ratio float64, cfg GateConfig) string {
+	switch {
+	case ratio > cfg.FailRatio:
+		return GateFail
+	case ratio > cfg.WarnRatio:
+		return GateWarn
+	default:
+		return GateOK
+	}
+}
+
+func compareMS(exp, dataset, metric string, base, cur float64, cfg GateConfig) GateFinding {
+	ratio := 0.0
+	if base > 0 {
+		ratio = cur / base
+	}
+	return GateFinding{
+		Experiment: exp, Dataset: dataset, Metric: metric,
+		BaselineMS: base, CurrentMS: cur, Ratio: ratio,
+		Level: gateLevel(ratio, cfg),
+	}
+}
+
+// Gate compares a fresh regression report against the committed baselines
+// and returns one finding per (dataset, metric) pair. Datasets present in
+// only one side produce a warn-level note instead of a ratio; any
+// non-identical output in the report is an immediate fail.
+func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult, cfg GateConfig) []GateFinding {
+	cfg = cfg.withDefaults()
+	var findings []GateFinding
+
+	baseByName := make(map[string]BatchResult, len(batchBase))
+	for _, b := range batchBase {
+		baseByName[b.Dataset] = b
+	}
+	for _, cur := range report.Batch {
+		if !cur.Identical {
+			findings = append(findings, GateFinding{
+				Experiment: "batch", Dataset: cur.Dataset, Metric: "identical",
+				Level: GateFail, Note: "batch output diverged from sequential",
+			})
+		}
+		base, ok := baseByName[cur.Dataset]
+		if !ok {
+			findings = append(findings, GateFinding{
+				Experiment: "batch", Dataset: cur.Dataset, Metric: "batch_ms",
+				CurrentMS: cur.BatchMS, Level: GateWarn, Note: "no baseline record",
+			})
+			continue
+		}
+		findings = append(findings,
+			compareMS("batch", cur.Dataset, "sequential_ms", base.SequentialMS, cur.SequentialMS, cfg),
+			compareMS("batch", cur.Dataset, "batch_ms", base.BatchMS, cur.BatchMS, cfg))
+	}
+
+	serveByName := make(map[string]ServeResult, len(serveBase))
+	for _, s := range serveBase {
+		serveByName[s.Dataset] = s
+	}
+	for _, cur := range report.Serve {
+		if !cur.Identical {
+			findings = append(findings, GateFinding{
+				Experiment: "serve", Dataset: cur.Dataset, Metric: "identical",
+				Level: GateFail, Note: "served output diverged from direct",
+			})
+		}
+		base, ok := serveByName[cur.Dataset]
+		if !ok {
+			findings = append(findings, GateFinding{
+				Experiment: "serve", Dataset: cur.Dataset, Metric: "served_ms",
+				CurrentMS: cur.ServedMS, Level: GateWarn, Note: "no baseline record",
+			})
+			continue
+		}
+		findings = append(findings,
+			compareMS("serve", cur.Dataset, "direct_ms", base.DirectMS, cur.DirectMS, cfg),
+			compareMS("serve", cur.Dataset, "served_ms", base.ServedMS, cur.ServedMS, cfg))
+	}
+	return findings
+}
+
+// GateTable renders the findings as a result table.
+func GateTable(findings []GateFinding) *Table {
+	t := &Table{
+		Title:  "Perf-regression gate (current run vs committed baselines)",
+		Header: []string{"experiment", "dataset", "metric", "baseline", "current", "ratio", "level"},
+	}
+	for _, f := range findings {
+		ratio := "-"
+		if f.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", f.Ratio)
+		}
+		level := f.Level
+		if f.Note != "" {
+			level += " (" + f.Note + ")"
+		}
+		t.Rows = append(t.Rows, []string{
+			f.Experiment, f.Dataset, f.Metric,
+			fmt.Sprintf("%.0fms", f.BaselineMS),
+			fmt.Sprintf("%.0fms", f.CurrentMS),
+			ratio, level,
+		})
+	}
+	return t
+}
+
+// GateSummary counts findings by level and renders a one-line verdict.
+func GateSummary(findings []GateFinding) (fails, warns int, line string) {
+	for _, f := range findings {
+		switch f.Level {
+		case GateFail:
+			fails++
+		case GateWarn:
+			warns++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gate: %d comparisons, %d warn, %d fail", len(findings), warns, fails)
+	if fails > 0 {
+		b.WriteString(" — REGRESSION")
+	} else {
+		b.WriteString(" — pass")
+	}
+	return fails, warns, b.String()
+}
+
+// LoadBatchBaseline reads a committed BENCH_batch.json.
+func LoadBatchBaseline(path string) ([]BatchResult, error) {
+	var out []BatchResult
+	if err := readJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadServeBaseline reads a committed BENCH_serve.json.
+func LoadServeBaseline(path string) ([]ServeResult, error) {
+	var out []ServeResult
+	if err := readJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadRegressReport reads a report produced by `lsbench -exp regress -json`.
+func LoadRegressReport(path string) (RegressReport, error) {
+	var out RegressReport
+	err := readJSON(path, &out)
+	return out, err
+}
+
+func readJSON(path string, v interface{}) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeJSON writes v indented to path, newline-terminated, matching the
+// committed baseline formatting so refreshes produce minimal diffs.
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateFixture() (RegressReport, []BatchResult, []ServeResult) {
+	report := RegressReport{
+		Batch: []BatchResult{
+			{Dataset: "a", SequentialMS: 100, BatchMS: 50, Identical: true},
+			{Dataset: "b", SequentialMS: 300, BatchMS: 160, Identical: true},
+		},
+		Serve: []ServeResult{
+			{Dataset: "a", DirectMS: 80, ServedMS: 90, Identical: true},
+		},
+	}
+	batchBase := []BatchResult{
+		{Dataset: "a", SequentialMS: 100, BatchMS: 50},
+		{Dataset: "b", SequentialMS: 100, BatchMS: 100},
+	}
+	serveBase := []ServeResult{{Dataset: "a", DirectMS: 80, ServedMS: 85}}
+	return report, batchBase, serveBase
+}
+
+func findingFor(t *testing.T, fs []GateFinding, exp, dataset, metric string) GateFinding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Experiment == exp && f.Dataset == dataset && f.Metric == metric {
+			return f
+		}
+	}
+	t.Fatalf("no finding for %s/%s %s", exp, dataset, metric)
+	return GateFinding{}
+}
+
+func TestGateLevels(t *testing.T) {
+	report, batchBase, serveBase := gateFixture()
+	fs := Gate(report, batchBase, serveBase, GateConfig{})
+
+	// a: unchanged → ok.
+	if f := findingFor(t, fs, "batch", "a", "batch_ms"); f.Level != GateOK {
+		t.Fatalf("batch/a should be ok, got %+v", f)
+	}
+	// b sequential: 300 vs 100 = 3x → fail; b batch: 160 vs 100 = 1.6x → warn.
+	if f := findingFor(t, fs, "batch", "b", "sequential_ms"); f.Level != GateFail {
+		t.Fatalf("batch/b sequential should fail, got %+v", f)
+	}
+	if f := findingFor(t, fs, "batch", "b", "batch_ms"); f.Level != GateWarn {
+		t.Fatalf("batch/b batch should warn, got %+v", f)
+	}
+	// serve a: 90 vs 85 → ok.
+	if f := findingFor(t, fs, "serve", "a", "served_ms"); f.Level != GateOK {
+		t.Fatalf("serve/a should be ok, got %+v", f)
+	}
+
+	fails, warns, line := GateSummary(fs)
+	if fails != 1 || warns != 1 {
+		t.Fatalf("summary fails=%d warns=%d", fails, warns)
+	}
+	if !strings.Contains(line, "REGRESSION") {
+		t.Fatalf("summary line should flag regression: %q", line)
+	}
+	if tbl := GateTable(fs); len(tbl.Rows) != len(fs) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(fs))
+	}
+}
+
+func TestGateNonIdenticalFails(t *testing.T) {
+	report, batchBase, serveBase := gateFixture()
+	report.Batch[0].Identical = false
+	fs := Gate(report, batchBase, serveBase, GateConfig{})
+	if f := findingFor(t, fs, "batch", "a", "identical"); f.Level != GateFail {
+		t.Fatalf("non-identical output should fail, got %+v", f)
+	}
+}
+
+func TestGateMissingBaselineWarns(t *testing.T) {
+	report, batchBase, serveBase := gateFixture()
+	report.Serve = append(report.Serve, ServeResult{Dataset: "new", ServedMS: 10, Identical: true})
+	fs := Gate(report, batchBase, serveBase, GateConfig{})
+	f := findingFor(t, fs, "serve", "new", "served_ms")
+	if f.Level != GateWarn || f.Note == "" {
+		t.Fatalf("missing baseline should warn with a note, got %+v", f)
+	}
+}
+
+func TestGateConfigThresholds(t *testing.T) {
+	report, batchBase, serveBase := gateFixture()
+	// With a sky-high fail ratio nothing fails.
+	fs := Gate(report, batchBase, serveBase, GateConfig{WarnRatio: 10, FailRatio: 20})
+	if fails, _, _ := func() (int, int, string) { return GateSummary(fs) }(); fails != 0 {
+		t.Fatalf("generous thresholds should not fail, got %d", fails)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	report, batchBase, serveBase := gateFixture()
+
+	bp := filepath.Join(dir, "batch.json")
+	if err := writeJSON(bp, batchBase); err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := LoadBatchBaseline(bp)
+	if err != nil || len(gotB) != len(batchBase) || gotB[0] != batchBase[0] {
+		t.Fatalf("batch round trip: %v %+v", err, gotB)
+	}
+
+	sp := filepath.Join(dir, "serve.json")
+	if err := writeJSON(sp, serveBase); err != nil {
+		t.Fatal(err)
+	}
+	gotS, err := LoadServeBaseline(sp)
+	if err != nil || len(gotS) != len(serveBase) || gotS[0] != serveBase[0] {
+		t.Fatalf("serve round trip: %v %+v", err, gotS)
+	}
+
+	rp := filepath.Join(dir, "report.json")
+	if err := writeJSON(rp, report); err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := LoadRegressReport(rp)
+	if err != nil || len(gotR.Batch) != 2 || len(gotR.Serve) != 1 {
+		t.Fatalf("report round trip: %v %+v", err, gotR)
+	}
+
+	if _, err := LoadRegressReport(filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

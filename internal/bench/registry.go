@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{ID: "ablate", Paper: "(extra)", Description: "framework-component ablation (DESIGN.md)", Run: Ablate},
 		{ID: "batch", Paper: "(extra)", Description: "concurrent batch engine vs sequential standardization", Run: Batch},
 		{ID: "serve", Paper: "(extra)", Description: "HTTP standardization service vs direct library calls", Run: Serve},
+		{ID: "regress", Paper: "(extra)", Description: "perf-regression replay of batch+serve vs committed baselines", Run: Regress},
 	}
 }
 

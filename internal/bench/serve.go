@@ -18,3 +18,21 @@ func Serve(opts Options) (*Table, error) {
 	}
 	return ServeRunner(opts)
 }
+
+// RegressRunner is the implementation of the "regress" experiment, installed
+// by cmd/lsbench from internal/bench/serveexp for the same import-cycle
+// reason as ServeRunner: the regress replay includes the serve experiment,
+// which needs the facade.
+var RegressRunner func(Options) (*Table, error)
+
+// Regress replays the batch and serve experiments, writes a combined
+// machine-readable report (Options.JSONPath), and when baseline paths are
+// set compares the fresh wall-clock numbers against the committed
+// BENCH_batch.json / BENCH_serve.json within the configured tolerance. See
+// serveexp.Regress for the implementation.
+func Regress(opts Options) (*Table, error) {
+	if RegressRunner == nil {
+		return nil, errors.New("bench: regress experiment not linked in (install bench.RegressRunner, see internal/bench/serveexp)")
+	}
+	return RegressRunner(opts)
+}

@@ -24,24 +24,10 @@ import (
 // record per dataset comparing the HTTP standardization service (submit
 // over the wire, poll to completion) against direct in-process batch calls
 // on the same jobs. The gap between the two is the full service tax — JSON
-// marshalling, HTTP round trips, queue admission, and status polling.
-type Result struct {
-	Dataset string `json:"dataset"`
-	Jobs    int    `json:"jobs"`
-	Workers int    `json:"workers"`
-	// Reps is how many times each arm ran; the times below are the best
-	// rep, the standard way to cut scheduler noise out of wall-clock runs.
-	Reps     int     `json:"reps"`
-	DirectMS float64 `json:"direct_ms"`
-	ServedMS float64 `json:"served_ms"`
-	// OverheadPct is (served - direct) / direct in percent.
-	OverheadPct float64 `json:"overhead_pct"`
-	// PerJobOverheadMS is the absolute service tax amortized per job.
-	PerJobOverheadMS float64 `json:"per_job_overhead_ms"`
-	// Identical reports that every served standardized script matched its
-	// direct counterpart byte for byte (the experiment fails otherwise).
-	Identical bool `json:"identical"`
-}
+// marshalling, HTTP round trips, queue admission, and status polling. The
+// struct itself lives in bench (as ServeResult) so the regression gate can
+// compare reports without importing this package.
+type Result = bench.ServeResult
 
 // Run measures what serving standardization over HTTP costs relative to
 // calling the library directly. Each arm gets its own identically-built
@@ -51,6 +37,26 @@ type Result struct {
 // transport, marshalling, and polling overhead, not the search or cache
 // warmth.
 func Run(opts bench.Options) (*bench.Table, error) {
+	records, table, err := serveRecords(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", opts.JSONPath, err)
+		}
+		opts.Logf("serve results written to %s", opts.JSONPath)
+	}
+	return table, nil
+}
+
+// serveRecords runs the serve experiment and returns the per-dataset
+// records alongside the rendered table, without touching Options.JSONPath.
+func serveRecords(opts bench.Options) ([]Result, *bench.Table, error) {
 	opts = opts.WithDefaults()
 	workers := opts.BatchWorkers
 	if workers <= 0 {
@@ -64,7 +70,7 @@ func Run(opts bench.Options) (*bench.Table, error) {
 	for _, name := range opts.Datasets {
 		gen, err := opts.GenerateDataset(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		jobs := gen.Sample(opts.ScriptsPerDataset, opts.Seed+17)
 		lsOpts := lucidscript.Options{
@@ -78,17 +84,17 @@ func Run(opts bench.Options) (*bench.Table, error) {
 		}
 		sysDirect, err := lucidscript.NewSystem(gen.ScriptsOnly(), gen.Sources, lsOpts)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
 		sysServed, err := lucidscript.NewSystem(gen.ScriptsOnly(), gen.Sources, lsOpts)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
 		directQueue := sysDirect.NewJobQueue(workers, len(jobs))
 		srv, err := serve.NewServer(map[string]*lucidscript.System{name: sysServed},
 			serve.Config{Workers: workers, QueueDepth: len(jobs)})
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
 		hs := httptest.NewServer(srv.Handler())
 		client := serve.NewClient(hs.URL, hs.Client())
@@ -107,14 +113,14 @@ func Run(opts bench.Options) (*bench.Table, error) {
 			for i, su := range jobs {
 				h, err := directQueue.Submit(ctx, su)
 				if err != nil {
-					return nil, fmt.Errorf("bench: %s direct submit %d: %w", name, i, err)
+					return nil, nil, fmt.Errorf("bench: %s direct submit %d: %w", name, i, err)
 				}
 				handles[i] = h
 			}
 			for i, h := range handles {
 				res, err := h.Wait(ctx)
 				if err != nil {
-					return nil, fmt.Errorf("bench: %s direct job %d: %w", name, i, err)
+					return nil, nil, fmt.Errorf("bench: %s direct job %d: %w", name, i, err)
 				}
 				directOut[i] = res.Script.Source()
 			}
@@ -128,20 +134,20 @@ func Run(opts bench.Options) (*bench.Table, error) {
 			for i, su := range jobs {
 				st, err := client.Submit(ctx, name, su.Source(), nil)
 				if err != nil {
-					return nil, fmt.Errorf("bench: %s served submit %d: %w", name, i, err)
+					return nil, nil, fmt.Errorf("bench: %s served submit %d: %w", name, i, err)
 				}
 				ids[i] = st.ID
 			}
 			for i, id := range ids {
 				st, err := client.Wait(ctx, id, 2*time.Millisecond)
 				if err != nil {
-					return nil, fmt.Errorf("bench: %s served wait %d: %w", name, i, err)
+					return nil, nil, fmt.Errorf("bench: %s served wait %d: %w", name, i, err)
 				}
 				if st.State != serve.StateDone {
-					return nil, fmt.Errorf("bench: %s served job %d: state %s (%s)", name, i, st.State, st.Error)
+					return nil, nil, fmt.Errorf("bench: %s served job %d: state %s (%s)", name, i, st.State, st.Error)
 				}
 				if st.Result.Script != directOut[i] {
-					return nil, fmt.Errorf("bench: %s served output diverges from direct for job %d", name, i)
+					return nil, nil, fmt.Errorf("bench: %s served output diverges from direct for job %d", name, i)
 				}
 			}
 			if d := time.Since(servedStart); r == 0 || d < servedDur {
@@ -151,7 +157,7 @@ func Run(opts bench.Options) (*bench.Table, error) {
 		hs.Close()
 		directQueue.Close()
 		if err := srv.Shutdown(ctx); err != nil {
-			return nil, fmt.Errorf("bench: %s shutdown: %w", name, err)
+			return nil, nil, fmt.Errorf("bench: %s shutdown: %w", name, err)
 		}
 
 		rec := Result{
@@ -178,15 +184,5 @@ func Run(opts bench.Options) (*bench.Table, error) {
 		opts.Logf("%s: %d jobs, direct %s vs served %s (+%.1f%%)",
 			name, rec.Jobs, directDur.Round(time.Millisecond), servedDur.Round(time.Millisecond), rec.OverheadPct)
 	}
-	if opts.JSONPath != "" {
-		data, err := json.MarshalIndent(records, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
-			return nil, fmt.Errorf("bench: writing %s: %w", opts.JSONPath, err)
-		}
-		opts.Logf("serve results written to %s", opts.JSONPath)
-	}
-	return table, nil
+	return records, table, nil
 }

@@ -130,17 +130,20 @@ func inferColumn(name string, cells []string) *Series {
 }
 
 // WriteCSV serializes the frame as CSV with a header row. Nulls are written
-// as empty cells.
+// as empty cells. The row record is allocated once and reused — this runs
+// over the full table for every OutputHash, so a per-row slice shows up.
 func (f *Frame) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(f.ColumnNames()); err != nil {
 		return err
 	}
+	rec := make([]string, f.NumCols())
 	for i := 0; i < f.NumRows(); i++ {
-		rec := make([]string, f.NumCols())
 		for j, c := range f.cols {
 			if c.IsValid(i) {
 				rec[j] = c.StringAt(i)
+			} else {
+				rec[j] = ""
 			}
 		}
 		if err := cw.Write(rec); err != nil {

@@ -118,8 +118,29 @@ func (f *Frame) WithColumn(s *Series) (*Frame, error) {
 	return out, nil
 }
 
-// Clone returns a deep copy of the frame.
+// Clone returns a copy of the frame that shares every column with the
+// receiver. Sharing is safe under the engine's immutability contract
+// (DESIGN.md §9): a *Series reachable from a frame is never written in
+// place — operations that change cells allocate a fresh column first — so a
+// shared column can never change under either frame. The copy owns its
+// column slice and name index, so structural edits (AddColumn, SetColumn)
+// on one frame never affect the other. Use DeepClone for an owned copy
+// whose cells may be mutated.
 func (f *Frame) Clone() *Frame {
+	out := &Frame{
+		cols:  append([]*Series(nil), f.cols...),
+		index: make(map[string]int, len(f.index)),
+	}
+	for name, i := range f.index {
+		out.index[name] = i
+	}
+	return out
+}
+
+// DeepClone returns a copy whose columns are themselves deep copies: the
+// pre-structural-sharing Clone semantics, for callers that need to write
+// cells into the result (and for tests that snapshot frame state).
+func (f *Frame) DeepClone() *Frame {
 	out := New()
 	for _, c := range f.cols {
 		_ = out.AddColumn(c.Clone())
@@ -127,7 +148,8 @@ func (f *Frame) Clone() *Frame {
 	return out
 }
 
-// Drop returns a copy without the named columns. Unknown names are an error.
+// Drop returns a copy without the named columns, sharing the kept columns
+// with the receiver. Unknown names are an error.
 func (f *Frame) Drop(names ...string) (*Frame, error) {
 	dropSet := map[string]bool{}
 	for _, n := range names {
@@ -139,13 +161,14 @@ func (f *Frame) Drop(names ...string) (*Frame, error) {
 	out := New()
 	for _, c := range f.cols {
 		if !dropSet[c.name] {
-			_ = out.AddColumn(c.Clone())
+			_ = out.AddColumn(c)
 		}
 	}
 	return out, nil
 }
 
-// Select returns a copy with only the named columns, in the given order.
+// Select returns a copy with only the named columns, in the given order,
+// sharing them with the receiver.
 func (f *Frame) Select(names ...string) (*Frame, error) {
 	out := New()
 	for _, n := range names {
@@ -153,25 +176,26 @@ func (f *Frame) Select(names ...string) (*Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := out.AddColumn(c.Clone()); err != nil {
+		if err := out.AddColumn(c); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// RenameColumn returns a copy with column old renamed to new.
+// RenameColumn returns a copy with column old renamed to new; every other
+// column is shared with the receiver, and the renamed column shares its
+// backing storage (Series.Rename is a shallow copy).
 func (f *Frame) RenameColumn(old, new string) (*Frame, error) {
 	if !f.HasColumn(old) {
 		return nil, fmt.Errorf("frame: cannot rename missing column %q", old)
 	}
 	out := New()
 	for _, c := range f.cols {
-		cc := c.Clone()
-		if cc.name == old {
-			cc = cc.Rename(new)
+		if c.name == old {
+			c = c.Rename(new)
 		}
-		if err := out.AddColumn(cc); err != nil {
+		if err := out.AddColumn(c); err != nil {
 			return nil, err
 		}
 	}
@@ -183,13 +207,17 @@ func (f *Frame) Filter(m Mask) (*Frame, error) {
 	if len(m) != f.NumRows() {
 		return nil, fmt.Errorf("frame: mask length %d != rows %d", len(m), f.NumRows())
 	}
-	idx := make([]int, 0, m.Count())
+	p := getIdx(len(m))
+	idx := *p
 	for i, keep := range m {
 		if keep {
 			idx = append(idx, i)
 		}
 	}
-	return f.gather(idx), nil
+	out := f.gather(idx)
+	*p = idx
+	putIdx(p)
+	return out, nil
 }
 
 // Take returns a new frame holding the rows at the given positions, in order.
@@ -216,11 +244,15 @@ func (f *Frame) Head(n int) *Frame {
 	if n > f.NumRows() {
 		n = f.NumRows()
 	}
-	idx := make([]int, n)
+	p := getIdx(n)
+	idx := (*p)[:n]
 	for i := range idx {
 		idx[i] = i
 	}
-	return f.gather(idx)
+	out := f.gather(idx)
+	*p = idx
+	putIdx(p)
+	return out
 }
 
 // Sample returns n rows drawn without replacement using the given seed.
@@ -240,11 +272,12 @@ func (f *Frame) Sample(n int, seed int64) *Frame {
 // DropNA returns a copy keeping only rows with no nulls in any column.
 func (f *Frame) DropNA() *Frame {
 	rows := f.NumRows()
-	idx := make([]int, 0, rows)
+	p := getIdx(rows)
+	idx := *p
 	for i := 0; i < rows; i++ {
 		ok := true
 		for _, c := range f.cols {
-			if !c.IsValid(i) {
+			if !c.valid[i] {
 				ok = false
 				break
 			}
@@ -253,7 +286,10 @@ func (f *Frame) DropNA() *Frame {
 			idx = append(idx, i)
 		}
 	}
-	return f.gather(idx)
+	out := f.gather(idx)
+	*p = idx
+	putIdx(p)
+	return out
 }
 
 // FillStat selects the per-column imputation statistic for FillNA.
@@ -268,9 +304,10 @@ const (
 )
 
 // FillNA returns a copy where nulls in each column are replaced by the
-// per-column statistic. Non-numeric columns use the mode regardless of stat
-// (matching pandas' df.fillna(df.mean()) leaving strings untouched, we fill
-// string columns only when stat is FillMode).
+// per-column statistic; untouched columns are shared with the receiver.
+// Non-numeric columns use the mode regardless of stat (matching pandas'
+// df.fillna(df.mean()) leaving strings untouched, we fill string columns
+// only when stat is FillMode).
 func (f *Frame) FillNA(stat FillStat) *Frame {
 	out := New()
 	for _, c := range f.cols {
@@ -292,7 +329,7 @@ func (f *Frame) FillNA(stat FillStat) *Frame {
 				v = 0
 			}
 			if math.IsNaN(v) {
-				_ = out.AddColumn(c.Clone())
+				_ = out.AddColumn(c)
 			} else {
 				_ = out.AddColumn(c.FillNAFloat(v))
 			}
@@ -300,10 +337,10 @@ func (f *Frame) FillNA(stat FillStat) *Frame {
 			if m, ok := c.Mode(); ok {
 				_ = out.AddColumn(c.FillNAString(m))
 			} else {
-				_ = out.AddColumn(c.Clone())
+				_ = out.AddColumn(c)
 			}
 		default:
-			_ = out.AddColumn(c.Clone())
+			_ = out.AddColumn(c)
 		}
 	}
 	return out
@@ -311,22 +348,22 @@ func (f *Frame) FillNA(stat FillStat) *Frame {
 
 // GetDummies one-hot encodes every string column (pandas pd.get_dummies):
 // each distinct value v of column C becomes an int column "C_v"; the source
-// column is removed. Numeric and bool columns pass through unchanged.
-// Null rows get 0 in every dummy column.
+// column is removed. Numeric and bool columns pass through shared with the
+// receiver. Null rows get 0 in every dummy column.
 func (f *Frame) GetDummies() *Frame {
 	out := New()
 	for _, c := range f.cols {
 		if c.Kind() != String {
-			_ = out.AddColumn(c.Clone())
+			_ = out.AddColumn(c)
 			continue
 		}
 		for _, v := range c.Unique() {
-			d := NewEmptySeries(c.name+"_"+v, Int, c.Len())
-			for i := 0; i < c.Len(); i++ {
-				if c.IsValid(i) && c.StringAt(i) == v {
-					d.SetInt(i, 1)
-				} else {
-					d.SetInt(i, 0)
+			d := &Series{name: c.name + "_" + v, kind: Int,
+				is: make([]int64, c.Len()), valid: make([]bool, c.Len())}
+			for i, ok := range c.valid {
+				d.valid[i] = true
+				if ok && c.ss[i] == v {
+					d.is[i] = 1
 				}
 			}
 			_ = out.AddColumn(d)
@@ -445,29 +482,51 @@ func (f *Frame) Describe() *Frame {
 	return out
 }
 
+// sortedCols returns the columns ordered by name, the canonical order
+// RowString renders in.
+func (f *Frame) sortedCols() []*Series {
+	cols := make([]*Series, len(f.cols))
+	copy(cols, f.cols)
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+	return cols
+}
+
+// appendRow appends row i rendered through the given column order:
+// name=value cells joined by tabs, nulls as "<null>".
+func appendRow(buf []byte, cols []*Series, i int) []byte {
+	for j, c := range cols {
+		if j > 0 {
+			buf = append(buf, '\t')
+		}
+		buf = append(buf, c.name...)
+		buf = append(buf, '=')
+		if c.valid[i] {
+			buf = c.appendCell(buf, i)
+		} else {
+			buf = append(buf, "<null>"...)
+		}
+	}
+	return buf
+}
+
 // RowString renders row i as a canonical tab-joined string across columns
 // (used by the table Jaccard measure). Column order follows sorted names so
 // scripts that merely reorder columns compare equal.
 func (f *Frame) RowString(i int) string {
-	names := f.ColumnNames()
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, n := range names {
-		c := f.cols[f.index[n]]
-		if c.IsValid(i) {
-			parts = append(parts, n+"="+c.StringAt(i))
-		} else {
-			parts = append(parts, n+"=<null>")
-		}
-	}
-	return strings.Join(parts, "\t")
+	return string(appendRow(nil, f.sortedCols(), i))
 }
 
-// RowStrings renders every row via RowString.
+// RowStrings renders every row via RowString, hoisting the column sort and
+// reusing one render buffer across rows — this feeds the Jaccard row-count
+// maps on every candidate verification, so the per-row name sort that used
+// to dominate it matters.
 func (f *Frame) RowStrings() []string {
+	cols := f.sortedCols()
 	out := make([]string, f.NumRows())
+	var buf []byte
 	for i := range out {
-		out[i] = f.RowString(i)
+		buf = appendRow(buf[:0], cols, i)
+		out[i] = string(buf)
 	}
 	return out
 }

@@ -125,3 +125,76 @@ func BenchmarkRowStrings(b *testing.B) {
 		f.RowStrings()
 	}
 }
+
+func BenchmarkGather(b *testing.B) {
+	f := benchFrame(b, 10000)
+	// Half contiguous runs, half scattered: exercises both the bulk-copy
+	// fast path and the fallback in gatherSlice.
+	rng := rand.New(rand.NewSource(11))
+	idx := make([]int, 0, f.NumRows())
+	for i := 0; i < f.NumRows(); {
+		if rng.Intn(2) == 0 {
+			run := 1 + rng.Intn(64)
+			for j := 0; j < run && i < f.NumRows(); j++ {
+				idx = append(idx, i)
+				i++
+			}
+		} else {
+			idx = append(idx, rng.Intn(f.NumRows()))
+			i++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Take(idx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterChain(b *testing.B) {
+	// The chained-combinator shape interp produces for
+	// df[(a > x) & (b < y) | ~(c > z)], exercising the in-place mask ops.
+	f := benchFrame(b, 10000)
+	price, _ := f.Column("price")
+	num, _ := f.Column("num")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m1, _ := price.Compare(Gt, 25.0)
+		m2, _ := num.Compare(Lt, 5.0)
+		m3, _ := price.Compare(Gt, 90.0)
+		m := m1.AndInPlace(m2).OrInPlace(m3.NotInPlace())
+		if _, err := f.Filter(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWithColumn(b *testing.B) {
+	f := benchFrame(b, 10000)
+	col := NewEmptySeries("derived", Float, f.NumRows())
+	for i := 0; i < col.Len(); i++ {
+		col.SetFloat(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WithColumn(col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	f := benchFrame(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := f.WriteCSV(&sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -313,13 +313,29 @@ func TestNumericMatrix(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	// Clone shares column storage but is structurally independent: swapping
+	// a column in the clone must not affect the original.
 	f := sampleFrame(t)
 	g := f.Clone()
 	age, _ := g.Column("Age")
-	age.SetFloat(0, 99)
 	orig, _ := f.Column("Age")
+	if age != orig {
+		t.Fatal("Clone should share column storage")
+	}
+	repl := age.Clone()
+	repl.SetFloat(0, 99)
+	if err := g.SetColumn(repl); err != nil {
+		t.Fatal(err)
+	}
 	if almostEq(orig.Float(0), 99) {
-		t.Fatal("Clone should deep-copy")
+		t.Fatal("replacing a column in a clone should not touch the original")
+	}
+	// DeepClone preserves the old cell-level independence.
+	h := f.DeepClone()
+	hAge, _ := h.Column("Age")
+	hAge.SetFloat(0, 99)
+	if almostEq(orig.Float(0), 99) {
+		t.Fatal("DeepClone should deep-copy")
 	}
 }
 

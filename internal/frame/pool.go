@@ -1,0 +1,24 @@
+package frame
+
+import "sync"
+
+// idxPool recycles row-index scratch slices. A beam-search candidate
+// executes thousands of filter/head/dropna calls per standardization, each
+// of which needs a transient []int of gather positions; pooling keeps those
+// allocations out of the steady state. A slice may be returned to the pool
+// only by the operation that allocated it, after the gather that consumes
+// it has returned — Series.Gather never retains its index argument.
+var idxPool = sync.Pool{New: func() interface{} { return new([]int) }}
+
+// getIdx returns an empty index scratch slice with capacity for n entries.
+func getIdx(n int) *[]int {
+	p := idxPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, 0, n)
+	}
+	*p = (*p)[:0]
+	return p
+}
+
+// putIdx returns a scratch slice obtained from getIdx to the pool.
+func putIdx(p *[]int) { idxPool.Put(p) }

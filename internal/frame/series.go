@@ -138,7 +138,10 @@ func (s *Series) Rename(name string) *Series {
 	return &c
 }
 
-// Clone returns a deep copy of the series.
+// Clone returns a deep copy of the series. It is the ownership primitive of
+// the immutability contract (DESIGN.md §9): code that needs to write cells
+// into a series reachable from a frame must Clone (or AsType) first, because
+// frames share column pointers freely.
 func (s *Series) Clone() *Series {
 	c := &Series{name: s.name, kind: s.kind}
 	c.fs = append([]float64(nil), s.fs...)
@@ -169,6 +172,16 @@ func (s *Series) NullCount() int {
 		}
 	}
 	return n
+}
+
+// hasNulls reports whether any row is null, without counting them all.
+func (s *Series) hasNulls() bool {
+	for _, v := range s.valid {
+		if !v {
+			return true
+		}
+	}
+	return false
 }
 
 // Float returns the value at row i as a float64. Null rows and
@@ -214,6 +227,26 @@ func (s *Series) StringAt(i int) string {
 		return s.ss[i]
 	}
 	return ""
+}
+
+// appendCell appends StringAt(i) to buf without the intermediate string
+// allocation for numeric and bool kinds. Null rows append nothing, exactly
+// like StringAt rendering the empty string.
+func (s *Series) appendCell(buf []byte, i int) []byte {
+	if !s.valid[i] {
+		return buf
+	}
+	switch s.kind {
+	case Float:
+		return strconv.AppendFloat(buf, s.fs[i], 'g', -1, 64)
+	case Int:
+		return strconv.AppendInt(buf, s.is[i], 10)
+	case Bool:
+		return strconv.AppendBool(buf, s.bs[i])
+	case String:
+		return append(buf, s.ss[i]...)
+	}
+	return buf
 }
 
 // BoolAt returns the value at row i as a bool (only meaningful for Bool kind;
@@ -411,8 +444,13 @@ func (s *Series) ValueCounts() map[string]int {
 	return counts
 }
 
-// FillNAFloat returns a copy with nulls replaced by v (numeric series only).
+// FillNAFloat returns a series with nulls replaced by v (numeric series
+// only). A series with no nulls is returned as-is — safe under the
+// immutability contract, since no caller writes into a fill result.
 func (s *Series) FillNAFloat(v float64) *Series {
+	if !s.hasNulls() {
+		return s
+	}
 	c := s.Clone()
 	if c.kind == String {
 		for i := range c.valid {
@@ -446,9 +484,13 @@ func (s *Series) FillNAFloat(v float64) *Series {
 	return c
 }
 
-// FillNAString returns a copy with nulls replaced by v (string series only;
-// for non-string series the value is parsed where possible).
+// FillNAString returns a series with nulls replaced by v (string series
+// only; for non-string series the value is parsed where possible). A series
+// with no nulls is returned as-is, like FillNAFloat.
 func (s *Series) FillNAString(v string) *Series {
+	if !s.hasNulls() {
+		return s
+	}
 	c := s.Clone()
 	switch c.kind {
 	case String:
@@ -588,16 +630,41 @@ func (s *Series) inferKind() *Series {
 }
 
 // AsType converts the series to the requested kind, best-effort.
-// Unconvertible values become null.
+// Unconvertible values become null. The result is always freshly allocated
+// — callers may mutate it — with the identity conversion reduced to a bulk
+// Clone and the numeric conversions running as kind-specialized loops over
+// the backing slices instead of per-row kind dispatch.
 func (s *Series) AsType(kind Kind) *Series {
+	if kind == s.kind {
+		return s.Clone()
+	}
 	switch kind {
 	case Float:
 		vals := make([]float64, s.Len())
-		for i := range vals {
-			vals[i] = s.Float(i)
+		switch s.kind {
+		case Int:
+			for i, v := range s.is {
+				if s.valid[i] {
+					vals[i] = float64(v)
+				} else {
+					vals[i] = math.NaN()
+				}
+			}
+		case Bool:
+			for i, v := range s.bs {
+				switch {
+				case !s.valid[i]:
+					vals[i] = math.NaN()
+				case v:
+					vals[i] = 1
+				}
+			}
+		default:
+			for i := range vals {
+				vals[i] = s.Float(i)
+			}
 		}
-		out := NewFloatSeries(s.name, vals)
-		return out
+		return NewFloatSeries(s.name, vals)
 	case Int:
 		out := NewEmptySeries(s.name, Int, s.Len())
 		for i := 0; i < s.Len(); i++ {
@@ -628,23 +695,39 @@ func (s *Series) AsType(kind Kind) *Series {
 	return s.Clone()
 }
 
-// Gather returns a new series holding the rows at the given indices.
+// gatherSlice copies src[idx[j]] into position j of a fresh slice. Index
+// runs that are contiguous in the source (the common case for filter masks,
+// head, and sorted sample positions) are bulk-copied with copy instead of
+// element-by-element.
+func gatherSlice[T any](src []T, idx []int) []T {
+	out := make([]T, len(idx))
+	for j := 0; j < len(idx); {
+		k := j + 1
+		for k < len(idx) && idx[k] == idx[k-1]+1 {
+			k++
+		}
+		copy(out[j:k], src[idx[j]:idx[j]+(k-j)])
+		j = k
+	}
+	return out
+}
+
+// Gather returns a new series holding the rows at the given indices. The
+// inner loop is kind-specialized: exactly one backing slice is gathered,
+// with contiguous index runs bulk-copied. Cell payloads at null positions
+// are copied verbatim rather than zeroed — reads go through the validity
+// slice, so the payload of a null cell is never observable.
 func (s *Series) Gather(idx []int) *Series {
-	out := NewEmptySeries(s.name, s.kind, len(idx))
-	for j, i := range idx {
-		if !s.valid[i] {
-			continue
-		}
-		switch s.kind {
-		case Float:
-			out.SetFloat(j, s.fs[i])
-		case Int:
-			out.SetInt(j, s.is[i])
-		case String:
-			out.SetString(j, s.ss[i])
-		case Bool:
-			out.SetBool(j, s.bs[i])
-		}
+	out := &Series{name: s.name, kind: s.kind, valid: gatherSlice(s.valid, idx)}
+	switch s.kind {
+	case Float:
+		out.fs = gatherSlice(s.fs, idx)
+	case Int:
+		out.is = gatherSlice(s.is, idx)
+	case String:
+		out.ss = gatherSlice(s.ss, idx)
+	case Bool:
+		out.bs = gatherSlice(s.bs, idx)
 	}
 	return out
 }

@@ -17,6 +17,20 @@ func (m Mask) And(o Mask) Mask {
 	return out
 }
 
+// AndInPlace folds o into m element-wise and returns m. The receiver must
+// be owned by the caller (a freshly computed temporary): masks that may be
+// aliased — e.g. bound to an interpreter variable — must use And, which
+// allocates. The interpreter proves ownership syntactically (a mask produced
+// by a non-identifier expression has no other holder) before choosing the
+// in-place form, so chained filters combine without one allocation per
+// combinator.
+func (m Mask) AndInPlace(o Mask) Mask {
+	for i := range m {
+		m[i] = m[i] && o[i]
+	}
+	return m
+}
+
 // Or returns the element-wise disjunction of two masks.
 func (m Mask) Or(o Mask) Mask {
 	out := make(Mask, len(m))
@@ -26,6 +40,15 @@ func (m Mask) Or(o Mask) Mask {
 	return out
 }
 
+// OrInPlace folds o into m element-wise and returns m. See AndInPlace for
+// the ownership requirement.
+func (m Mask) OrInPlace(o Mask) Mask {
+	for i := range m {
+		m[i] = m[i] || o[i]
+	}
+	return m
+}
+
 // Not returns the element-wise negation of the mask.
 func (m Mask) Not() Mask {
 	out := make(Mask, len(m))
@@ -33,6 +56,15 @@ func (m Mask) Not() Mask {
 		out[i] = !m[i]
 	}
 	return out
+}
+
+// NotInPlace negates the mask in place and returns it. See AndInPlace for
+// the ownership requirement.
+func (m Mask) NotInPlace() Mask {
+	for i := range m {
+		m[i] = !m[i]
+	}
+	return m
 }
 
 // Count returns the number of true entries.
@@ -81,20 +113,48 @@ func (op CmpOp) String() string {
 // Compare evaluates `series op value` row-wise and returns the mask.
 // Numeric series compare numerically; string series compare for Eq/Ne
 // against the string rendering and lexicographically otherwise.
-// Null rows always yield false.
+// Null rows always yield false. The numeric and string paths run as
+// kind-specialized loops over the backing slices — comparisons seed every
+// filter a beam-search candidate executes, so the per-row kind dispatch of
+// Series.Float is hoisted out of the inner loop.
 func (s *Series) Compare(op CmpOp, value interface{}) (Mask, error) {
 	out := make(Mask, s.Len())
 	switch v := value.(type) {
 	case float64:
-		for i := 0; i < s.Len(); i++ {
-			if !s.valid[i] {
-				continue
+		switch s.kind {
+		case Float:
+			for i, f := range s.fs {
+				if s.valid[i] && !math.IsNaN(f) {
+					out[i] = cmpFloat(op, f, v)
+				}
 			}
-			f := s.Float(i)
-			if math.IsNaN(f) {
-				continue
+		case Int:
+			for i, n := range s.is {
+				if s.valid[i] {
+					out[i] = cmpFloat(op, float64(n), v)
+				}
 			}
-			out[i] = cmpFloat(op, f, v)
+		case Bool:
+			for i, b := range s.bs {
+				if s.valid[i] {
+					f := 0.0
+					if b {
+						f = 1
+					}
+					out[i] = cmpFloat(op, f, v)
+				}
+			}
+		default:
+			for i := 0; i < s.Len(); i++ {
+				if !s.valid[i] {
+					continue
+				}
+				f := s.Float(i)
+				if math.IsNaN(f) {
+					continue
+				}
+				out[i] = cmpFloat(op, f, v)
+			}
 		}
 		return out, nil
 	case int:
@@ -102,6 +162,14 @@ func (s *Series) Compare(op CmpOp, value interface{}) (Mask, error) {
 	case int64:
 		return s.Compare(op, float64(v))
 	case string:
+		if s.kind == String {
+			for i, sv := range s.ss {
+				if s.valid[i] {
+					out[i] = cmpString(op, sv, v)
+				}
+			}
+			return out, nil
+		}
 		for i := 0; i < s.Len(); i++ {
 			if !s.valid[i] {
 				continue
@@ -207,8 +275,13 @@ func (s *Series) IsNull() Mask {
 	return out
 }
 
-// NotNull returns the mask of non-null rows.
-func (s *Series) NotNull() Mask { return s.IsNull().Not() }
+// NotNull returns the mask of non-null rows in a single pass (it used to be
+// IsNull().Not(), one allocation and one traversal more).
+func (s *Series) NotNull() Mask {
+	out := make(Mask, s.Len())
+	copy(out, s.valid)
+	return out
+}
 
 // ArithOp identifies an element-wise arithmetic operator.
 type ArithOp int

@@ -1,0 +1,191 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestColumnPreservingOpsShareStorage pins the structural-sharing
+// optimization: ops that do not change a column's cells must return frames
+// holding the same *Series pointers, not copies.
+func TestColumnPreservingOpsShareStorage(t *testing.T) {
+	f := sampleFrame(t)
+	orig := map[string]*Series{}
+	for _, name := range f.ColumnNames() {
+		c, _ := f.Column(name)
+		orig[name] = c
+	}
+
+	same := func(t *testing.T, g *Frame, name string) {
+		t.Helper()
+		c, err := g.Column(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != orig[name] {
+			t.Fatalf("column %q should be shared, got a copy", name)
+		}
+	}
+
+	t.Run("Clone", func(t *testing.T) {
+		g := f.Clone()
+		for name := range orig {
+			same(t, g, name)
+		}
+	})
+	t.Run("Drop", func(t *testing.T) {
+		g, err := f.Drop("Age")
+		if err != nil {
+			t.Fatal(err)
+		}
+		same(t, g, "Sex")
+		same(t, g, "Survived")
+	})
+	t.Run("Select", func(t *testing.T) {
+		g, err := f.Select("Age", "Sex")
+		if err != nil {
+			t.Fatal(err)
+		}
+		same(t, g, "Age")
+		same(t, g, "Sex")
+	})
+	t.Run("RenameColumn", func(t *testing.T) {
+		g, err := f.RenameColumn("Age", "Years")
+		if err != nil {
+			t.Fatal(err)
+		}
+		same(t, g, "Sex")
+		renamed, _ := g.Column("Years")
+		if renamed == orig["Age"] {
+			t.Fatal("renamed column must be a fresh series (name differs)")
+		}
+	})
+	t.Run("WithColumn", func(t *testing.T) {
+		extra := NewIntSeries("Extra", make([]int64, f.NumRows()))
+		g, err := f.WithColumn(extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range orig {
+			same(t, g, name)
+		}
+	})
+	t.Run("FillNAUntouched", func(t *testing.T) {
+		g := f.FillNA(FillMean)
+		// Sex and Survived have no nulls in sampleFrame; they must be shared.
+		same(t, g, "Sex")
+		same(t, g, "Survived")
+	})
+	t.Run("GetDummiesNonString", func(t *testing.T) {
+		g := f.GetDummies()
+		same(t, g, "Age")
+		same(t, g, "Survived")
+	})
+}
+
+// TestGatherMatchesNaive cross-checks the run-copying gather kernel against
+// a per-element reference on randomized index patterns for every kind.
+func TestGatherMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 257
+	fvals := make([]float64, n)
+	ivals := make([]int64, n)
+	svals := make([]string, n)
+	for i := range fvals {
+		fvals[i] = rng.NormFloat64()
+		ivals[i] = rng.Int63n(1000)
+		svals[i] = string(rune('a' + rng.Intn(26)))
+	}
+	series := []*Series{
+		NewFloatSeries("f", fvals),
+		NewIntSeries("i", ivals),
+		NewStringSeries("s", svals),
+	}
+	bs := NewEmptySeries("b", Bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) > 0 {
+			bs.SetBool(i, rng.Intn(2) == 0)
+		} // else leave null
+	}
+	series = append(series, bs)
+
+	patterns := [][]int{
+		{},           // empty
+		{0}, {n - 1}, // singletons
+		{5, 6, 7, 8},      // one contiguous run
+		{3, 3, 3},         // repeats
+		{n - 1, 0, n / 2}, // scattered
+	}
+	full := make([]int, n)
+	reversed := make([]int, n)
+	for i := range full {
+		full[i] = i
+		reversed[i] = n - 1 - i
+	}
+	patterns = append(patterns, full, reversed)
+	for p := 0; p < 10; p++ {
+		idx := make([]int, rng.Intn(2*n))
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		patterns = append(patterns, idx)
+	}
+
+	for _, s := range series {
+		for pi, idx := range patterns {
+			got := s.Gather(idx)
+			if got.Len() != len(idx) {
+				t.Fatalf("%s pattern %d: len %d want %d", s.Name(), pi, got.Len(), len(idx))
+			}
+			for j, src := range idx {
+				if got.IsValid(j) != s.IsValid(src) {
+					t.Fatalf("%s pattern %d row %d: valid mismatch", s.Name(), pi, j)
+				}
+				if !s.IsValid(src) {
+					continue
+				}
+				if got.StringAt(j) != s.StringAt(src) {
+					t.Fatalf("%s pattern %d row %d: %q want %q", s.Name(), pi, j, got.StringAt(j), s.StringAt(src))
+				}
+			}
+		}
+	}
+}
+
+// TestMaskInPlaceOps verifies the in-place combinators mutate the receiver
+// with the same truth table as the allocating versions.
+func TestMaskInPlaceOps(t *testing.T) {
+	a := Mask{true, true, false, false}
+	b := Mask{true, false, true, false}
+
+	and := append(Mask(nil), a...).AndInPlace(b)
+	if want := a.And(b); !maskEq(and, want) {
+		t.Fatalf("AndInPlace = %v want %v", and, want)
+	}
+	or := append(Mask(nil), a...).OrInPlace(b)
+	if want := a.Or(b); !maskEq(or, want) {
+		t.Fatalf("OrInPlace = %v want %v", or, want)
+	}
+	not := append(Mask(nil), a...).NotInPlace()
+	if want := a.Not(); !maskEq(not, want) {
+		t.Fatalf("NotInPlace = %v want %v", not, want)
+	}
+
+	// The receiver itself is returned (no allocation).
+	recv := append(Mask(nil), a...)
+	if got := recv.AndInPlace(b); &got[0] != &recv[0] {
+		t.Fatal("AndInPlace should return the receiver's storage")
+	}
+}
+
+func maskEq(a, b Mask) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -96,8 +96,9 @@ func TestFairnessDeltaAndConstraint(t *testing.T) {
 	if err != nil || !ok || val != 0 {
 		t.Fatalf("identity should satisfy fairness: ok=%v val=%v err=%v", ok, val, err)
 	}
-	// Destroying the predictive feature changes the parity gap.
-	broken := f.Clone()
+	// Destroying the predictive feature changes the parity gap. DeepClone:
+	// we mutate the column in place, which plain Clone now shares.
+	broken := f.DeepClone()
 	score, _ := broken.Column("score")
 	for i := 0; i < score.Len(); i++ {
 		score.SetFloat(i, 0)

@@ -90,8 +90,8 @@ func RowJaccard(a, b *frame.Frame) (float64, error) {
 
 func rowCounts(f *frame.Frame) map[string]int {
 	counts := make(map[string]int, f.NumRows())
-	for i := 0; i < f.NumRows(); i++ {
-		counts[f.RowString(i)]++
+	for _, key := range f.RowStrings() {
+		counts[key]++
 	}
 	return counts
 }

@@ -166,8 +166,9 @@ func TestModelDeltaIdenticalZero(t *testing.T) {
 
 func TestModelDeltaDetectsDegradation(t *testing.T) {
 	f := synthFrame(t, 400, 7)
-	// Destroy the predictive feature.
-	broken := f.Clone()
+	// Destroy the predictive feature. DeepClone: we mutate the column in
+	// place, which plain Clone now shares.
+	broken := f.DeepClone()
 	feat, _ := broken.Column("feat1")
 	for i := 0; i < feat.Len(); i++ {
 		feat.SetFloat(i, 0)

@@ -151,7 +151,9 @@ func (e *Env) callPandas(name string, c *call) (Value, error) {
 		if !ok {
 			return nil, fmt.Errorf("get_dummies needs a DataFrame, got %s", typeName(v))
 		}
-		return &DF{F: df.F.GetDummies(), Index: append([]int(nil), df.Index...)}, nil
+		// Index slices follow the same functional discipline as frames
+		// (never written in place), so row-preserving ops share them.
+		return &DF{F: df.F.GetDummies(), Index: df.Index}, nil
 	case "to_datetime":
 		v, ok := c.arg(0)
 		if !ok {
@@ -584,7 +586,7 @@ func (e *Env) callDF(df *DF, name string, c *call) (Value, error) {
 			}
 			out = renamed
 		}
-		return &DF{F: out, Index: append([]int(nil), df.Index...)}, nil
+		return &DF{F: out, Index: df.Index}, nil
 	case "mean":
 		return statVal{stat: frame.FillMean}, nil
 	case "median":
@@ -594,8 +596,7 @@ func (e *Env) callDF(df *DF, name string, c *call) (Value, error) {
 	case "duplicated":
 		seen := map[string]bool{}
 		m := make(frame.Mask, df.F.NumRows())
-		for i := 0; i < df.F.NumRows(); i++ {
-			key := df.F.RowString(i)
+		for i, key := range df.F.RowStrings() {
 			if seen[key] {
 				m[i] = true
 			}
@@ -605,8 +606,7 @@ func (e *Env) callDF(df *DF, name string, c *call) (Value, error) {
 	case "drop_duplicates":
 		seen := map[string]bool{}
 		var pos []int
-		for i := 0; i < df.F.NumRows(); i++ {
-			key := df.F.RowString(i)
+		for i, key := range df.F.RowStrings() {
 			if !seen[key] {
 				pos = append(pos, i)
 			}
@@ -694,7 +694,7 @@ func (e *Env) dfFillna(df *DF, c *call) (Value, error) {
 	default:
 		return nil, fmt.Errorf("fillna argument must be a statistic or scalar, got %s", typeName(v))
 	}
-	return &DF{F: out, Index: append([]int(nil), df.Index...)}, nil
+	return &DF{F: out, Index: df.Index}, nil
 }
 
 func (e *Env) dfDrop(df *DF, c *call) (Value, error) {
@@ -733,7 +733,7 @@ func (e *Env) dfDrop(df *DF, c *call) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DF{F: out, Index: append([]int(nil), df.Index...)}, nil
+	return &DF{F: out, Index: df.Index}, nil
 }
 
 // mergeFrames implements df.merge(other, on=..., how=...) and

@@ -510,14 +510,21 @@ func TestTypeNameCoverage(t *testing.T) {
 }
 
 func TestDFCloneIndependent(t *testing.T) {
+	// DF.Clone shares column storage (structural sharing) but is
+	// structurally independent: replacing a column in the clone must not
+	// change the original.
 	f, _ := frame.ReadCSVString("a\n1\n")
 	d := NewDF(f)
 	c := d.Clone()
 	col, _ := c.F.Column("a")
-	col.SetInt(0, 99)
+	repl := col.Clone()
+	repl.SetInt(0, 99)
+	if err := c.F.SetColumn(repl); err != nil {
+		t.Fatal(err)
+	}
 	orig, _ := d.F.Column("a")
 	if orig.Float(0) == 99 {
-		t.Fatal("Clone shares storage")
+		t.Fatal("replacing a column in a clone should not touch the original")
 	}
 }
 

@@ -663,6 +663,9 @@ func (e *Env) evalUnary(x *script.UnaryExpr) (Value, error) {
 		if !ok {
 			return nil, fmt.Errorf("~ needs a mask, got %s", typeName(v))
 		}
+		if ownedMask(x.X) {
+			return m.NotInPlace(), nil
+		}
 		return m.Not(), nil
 	case "-":
 		switch n := v.(type) {
@@ -674,6 +677,18 @@ func (e *Env) evalUnary(x *script.UnaryExpr) (Value, error) {
 		return nil, fmt.Errorf("- needs a number or Series, got %s", typeName(v))
 	}
 	return nil, fmt.Errorf("unsupported unary operator %q", x.Op)
+}
+
+// ownedMask reports whether a mask produced by evaluating expr is owned by
+// the evaluator and may be combined in place. Only an identifier can yield
+// a mask that something else still holds (the variable binding); every
+// other mask-producing expression — a comparison, a ~, an isnull() call —
+// allocates a fresh mask with no other reference. This keeps chained
+// filters like df[(df.a > 1) & (df.b < 2) & ~df.c.isnull()] from paying
+// one allocation per combinator without ever mutating a bound variable.
+func ownedMask(expr script.Expr) bool {
+	_, isIdent := expr.(*script.Ident)
+	return !isIdent
 }
 
 var cmpFromString = map[string]frame.CmpOp{
@@ -702,6 +717,12 @@ func (e *Env) evalBinary(x *script.BinaryExpr) (Value, error) {
 		}
 		if len(lm) != len(rm) {
 			return nil, fmt.Errorf("mask length mismatch %d vs %d", len(lm), len(rm))
+		}
+		if ownedMask(x.X) {
+			if x.Op == "&" {
+				return lm.AndInPlace(rm), nil
+			}
+			return lm.OrInPlace(rm), nil
 		}
 		if x.Op == "&" {
 			return lm.And(rm), nil

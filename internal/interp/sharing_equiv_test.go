@@ -1,0 +1,130 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lucidscript/internal/frame"
+	"lucidscript/internal/gen"
+)
+
+// resultSnapshot serializes a run result for byte-exact comparison.
+func resultSnapshot(res *Result) string {
+	out := ""
+	if res.Main != nil {
+		out += "main:\n" + res.Main.CSVString()
+	}
+	if res.X != nil {
+		out += "x:\n" + res.X.CSVString()
+	}
+	if res.Y != nil {
+		yf := frame.New()
+		_ = yf.AddColumn(res.Y)
+		out += "y:\n" + yf.CSVString()
+	}
+	return out
+}
+
+// TestStructuralSharingEquivalence pins the frame immutability contract
+// (DESIGN.md §9) against the seeded generative corpus: with Clone, Drop,
+// Select, filters, and friends sharing *Series pointers across frames,
+// every execution arm must still produce byte-identical output —
+//
+//  1. plain interp.Run over the shared sources,
+//  2. interp.Run over deep-copied sources (the old deep-copy semantics),
+//  3. a sequential SessionCache,
+//  4. a shared SessionCache hammered concurrently (run under -race, this
+//     is also the aliasing detector for shared column storage),
+//
+// and the source frames must remain byte-identical afterward: no run may
+// write into a frame another run (or the cache) can reach.
+func TestStructuralSharingEquivalence(t *testing.T) {
+	g := gen.New(1234)
+	scripts := g.Scripts(30)
+	sources := g.Sources(300)
+
+	pristine := map[string]string{}
+	deepSources := map[string]*frame.Frame{}
+	for name, f := range sources {
+		pristine[name] = f.CSVString()
+		deepSources[name] = f.DeepClone()
+	}
+	opts := Options{Seed: 3}
+
+	// Arm 1: plain runs over the shared sources — the reference outputs.
+	want := make([]string, len(scripts))
+	for i, s := range scripts {
+		res, err := Run(s, sources, opts)
+		if err != nil {
+			t.Fatalf("script %d: %v\n%s", i, err, s.Source())
+		}
+		want[i] = resultSnapshot(res)
+	}
+
+	// Arm 2: the same runs over deep-copied sources. Sharing series between
+	// frames must be observationally identical to owning deep copies.
+	for i, s := range scripts {
+		res, err := Run(s, deepSources, opts)
+		if err != nil {
+			t.Fatalf("deep-copy script %d: %v", i, err)
+		}
+		if got := resultSnapshot(res); got != want[i] {
+			t.Fatalf("script %d: deep-copy sources diverge from shared sources\n%s", i, s.Source())
+		}
+	}
+
+	// Arm 3: sequential session cache (exec-prefix cache on).
+	sc := NewSessionCache(sources, opts, 0)
+	for i, s := range scripts {
+		res, err := sc.Run(s)
+		if err != nil {
+			t.Fatalf("cached script %d: %v", i, err)
+		}
+		if got := resultSnapshot(res); got != want[i] {
+			t.Fatalf("script %d: cached run diverges from plain run\n%s", i, s.Source())
+		}
+	}
+
+	// Arm 4: shared cache, concurrent clients. Under -race this doubles as
+	// an aliasing detector: any in-place write to shared column storage is
+	// a data race across workers replaying the same prefixes.
+	shared := NewSessionCache(sources, opts, 0)
+	const workers = 4
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, s := range scripts {
+				res, err := shared.Run(s)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d script %d: %w", w, i, err)
+					return
+				}
+				if got := resultSnapshot(res); got != want[i] {
+					errs <- fmt.Errorf("worker %d script %d: concurrent cached run diverges", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every arm done: the sources must be byte-identical to the start.
+	for name, f := range sources {
+		if f.CSVString() != pristine[name] {
+			t.Fatalf("source %s mutated by execution", name)
+		}
+	}
+	for name, f := range deepSources {
+		if f.CSVString() != pristine[name] {
+			t.Fatalf("deep-copy source %s mutated by execution", name)
+		}
+	}
+}
