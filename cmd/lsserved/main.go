@@ -16,11 +16,19 @@
 //	    -dataset 'diabetes=corpus_dir,diabetes.csv' \
 //	    -dataset 'sales=sales_corpus,sales.csv,regions.csv'
 //
-// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, DELETE /v1/jobs/{id},
-// GET /healthz, GET /metrics (Prometheus text). Overload returns 429 with
-// a Retry-After header. SIGTERM/SIGINT drains gracefully: in-flight jobs
-// finish (up to -drain-timeout), queued jobs fail with a clean
-// shutting-down code, then the listener closes.
+// Endpoints: POST /v1/jobs (idempotent via the Idempotency-Key header),
+// GET /v1/jobs (cursor-paginated listing), GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
+// Overload returns 429 with a Retry-After header. SIGTERM/SIGINT drains
+// gracefully: in-flight jobs finish (up to -drain-timeout), queued jobs
+// fail with a clean shutting-down code, then the listener closes.
+//
+// With -data-dir the server is durable: every job is recorded in a
+// write-ahead log + snapshot under the directory, and a restart against
+// the same path replays the history — finished jobs keep their results
+// and output hashes, queued jobs are re-enqueued, and jobs that were
+// mid-run are marked interrupted for clients to resubmit (kill -9
+// included; see docs/API.md).
 package main
 
 import (
@@ -71,6 +79,9 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 		jobRetention = flag.Duration("job-retention", 15*time.Minute, "how long finished job statuses stay pollable before eviction")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
+		dataDir      = flag.String("data-dir", "", "durable job-store directory; jobs survive restarts against the same path (empty = in-memory)")
+		snapEvery    = flag.Int("snapshot-every", 0, "WAL appends between job-store snapshots (default 512; needs -data-dir)")
+		maxRows      = flag.Int("max-rows", 0, "row cap for search-time execution, full data still verifies (0 = off)")
 		dataPaths    stringList
 		datasetSpecs stringList
 	)
@@ -101,6 +112,7 @@ func main() {
 		Auto:             *auto,
 		Seed:             *seed,
 		Workers:          *searchWork,
+		MaxRows:          *maxRows,
 		DisableExecCache: *execCache == "off",
 		Timeout:          *jobTimeout,
 		Metrics:          metrics,
@@ -132,14 +144,21 @@ func main() {
 	}
 
 	srv, err := serve.NewServer(systems, serve.Config{
-		Workers:      *serveWorkers,
-		QueueDepth:   *queueDepth,
-		RetryAfter:   *retryAfter,
-		JobRetention: *jobRetention,
-		Metrics:      metrics,
+		Workers:       *serveWorkers,
+		QueueDepth:    *queueDepth,
+		RetryAfter:    *retryAfter,
+		JobRetention:  *jobRetention,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEvery,
+		Metrics:       metrics,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *dataDir != "" {
+		rec := srv.Recovery()
+		fmt.Fprintf(os.Stderr, "lsserved: durable store %s: recovered %d finished, requeued %d, interrupted %d\n",
+			*dataDir, rec.Terminal, rec.Requeued, rec.Interrupted)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -91,9 +91,18 @@ func serveRecords(opts bench.Options) ([]Result, *bench.Table, error) {
 			return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
 		directQueue := sysDirect.NewJobQueue(workers, len(jobs))
-		srv, err := serve.NewServer(map[string]*lucidscript.System{name: sysServed},
-			serve.Config{Workers: workers, QueueDepth: len(jobs)})
+		// The served arm runs durable — every job rides through the
+		// write-ahead log exactly as a production -data-dir deployment —
+		// so the measured service tax includes the persistence cost and
+		// the regression gate would catch a WAL slowdown.
+		dataDir, err := os.MkdirTemp("", "lsbench-serve-*")
 		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := serve.NewServer(map[string]*lucidscript.System{name: sysServed},
+			serve.Config{Workers: workers, QueueDepth: len(jobs), DataDir: dataDir})
+		if err != nil {
+			os.RemoveAll(dataDir)
 			return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
 		}
 		hs := httptest.NewServer(srv.Handler())
@@ -156,7 +165,9 @@ func serveRecords(opts bench.Options) ([]Result, *bench.Table, error) {
 		}
 		hs.Close()
 		directQueue.Close()
-		if err := srv.Shutdown(ctx); err != nil {
+		err = srv.Shutdown(ctx)
+		os.RemoveAll(dataDir)
+		if err != nil {
 			return nil, nil, fmt.Errorf("bench: %s shutdown: %w", name, err)
 		}
 

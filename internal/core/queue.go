@@ -48,14 +48,15 @@ func (s JobState) String() string {
 // QueuedJob is one standardization admitted into a Queue. Submit returns it
 // immediately; the result becomes available when Done is closed.
 type QueuedJob struct {
-	id     int64
-	script *script.Script
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
-	state  atomic.Int32
-	res    *Result
-	err    error
+	id      int64
+	script  *script.Script
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	state   atomic.Int32
+	observe func(JobState)
+	res     *Result
+	err     error
 }
 
 // ID is the job's queue-assigned sequence number (0-based). It doubles as
@@ -104,6 +105,9 @@ func (j *QueuedJob) finish(res *Result, err error) {
 	close(j.done)
 	j.state.Store(int32(JobDone))
 	j.cancel()
+	if j.observe != nil {
+		j.observe(JobDone)
+	}
 }
 
 // QueueStats is a point-in-time snapshot of a Queue's admission state.
@@ -113,6 +117,8 @@ type QueueStats struct {
 	Depth, Capacity int
 	// Workers is the size of the worker pool consuming the queue.
 	Workers int
+	// Running is how many jobs workers are executing right now.
+	Running int
 	// Submitted, Rejected, Completed, and Failed are cumulative counts
 	// since the queue was built (Failed ⊆ Completed; a canceled job counts
 	// as failed).
@@ -142,7 +148,7 @@ type Queue struct {
 
 	seq                         atomic.Int64
 	rejected, completed, failed atomic.Int64
-	depth                       atomic.Int64
+	depth, running              atomic.Int64
 }
 
 // NewQueue builds a running queue over the engine: its workers start
@@ -174,12 +180,24 @@ func (e *Engine) NewQueue(depth int) *Queue {
 // the job's whole life — canceling it while the job is still queued makes
 // the job complete with ErrCanceled without running.
 func (q *Queue) Submit(ctx context.Context, su *script.Script) (*QueuedJob, error) {
+	return q.SubmitObserved(ctx, su, nil)
+}
+
+// SubmitObserved is Submit with a state-transition hook: observe is called
+// with JobRunning when a worker picks the job up and with JobDone when it
+// finishes (after the outcome is recorded and Done is closed). It is the
+// durability hook — a persistent front end appends each transition to its
+// write-ahead log from here. observe runs on the worker goroutine, so it
+// must be fast and must not call back into the queue; it is never called
+// for a rejected submission.
+func (q *Queue) SubmitObserved(ctx context.Context, su *script.Script, observe func(JobState)) (*QueuedJob, error) {
 	jctx, cancel := context.WithCancel(ctx)
 	j := &QueuedJob{
-		script: su,
-		ctx:    jctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
+		script:  su,
+		ctx:     jctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		observe: observe,
 	}
 	// Admission is under the mutex so a Submit can never slip a job into
 	// the buffer after Close's drain pass: Close flips isClosed under the
@@ -245,6 +263,7 @@ func (q *Queue) Stats() QueueStats {
 		Depth:     int(q.depth.Load()),
 		Capacity:  cap(q.jobs),
 		Workers:   q.eng.workers,
+		Running:   int(q.running.Load()),
 		Submitted: q.seq.Load(),
 		Rejected:  q.rejected.Load(),
 		Completed: q.completed.Load(),
@@ -291,7 +310,12 @@ func (q *Queue) run(j *QueuedJob) {
 		return
 	}
 	j.state.Store(int32(JobRunning))
+	if j.observe != nil {
+		j.observe(JobRunning)
+	}
+	q.running.Add(1)
 	res, err := q.eng.runJob(j.ctx, q.shared, int(j.id), j.script)
+	q.running.Add(-1)
 	q.recordOutcome(err)
 	j.finish(res, err)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -318,5 +319,108 @@ func TestJobStateString(t *testing.T) {
 		if got := state.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", state, got, want)
 		}
+	}
+}
+
+// TestQueueSubmitObserved pins the state-transition hook: a run job sees
+// JobRunning then JobDone in order (JobDone after the outcome is readable),
+// a drained job sees only JobDone, and the Running stat rises while a
+// worker holds a job.
+func TestQueueSubmitObserved(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = faults.New(3, faults.Rule{
+		Site: faults.SiteBatchJob, Kind: faults.KindDelay, Prob: 1, Delay: 150 * time.Millisecond,
+	})
+	st := newStandardizer(t, cfg)
+	q := NewEngine(st, 1, 0).NewQueue(1)
+
+	var mu sync.Mutex
+	var seen []JobState
+	var hptr atomic.Pointer[QueuedJob]
+	running := make(chan struct{})
+	var runningOnce sync.Once
+	h, err := q.SubmitObserved(context.Background(), batchJobs(t, 1)[0], func(s JobState) {
+		mu.Lock()
+		seen = append(seen, s)
+		mu.Unlock()
+		if s == JobRunning {
+			runningOnce.Do(func() { close(running) })
+		}
+		if s == JobDone {
+			// The outcome must already be readable when JobDone fires.
+			if j := hptr.Load(); j != nil {
+				if res, err := j.Result(); res == nil && err == nil {
+					t.Error("JobDone observed before the outcome was recorded")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hptr.Store(h)
+	<-running
+	if got := q.Stats().Running; got != 1 {
+		t.Errorf("Stats().Running while job held = %d, want 1", got)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// JobDone fires from finish() on the worker; Wait returning guarantees
+	// done is closed, and finish calls observe after recording — but give
+	// the observer call itself a moment under -race schedulers.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		got := append([]JobState(nil), seen...)
+		mu.Unlock()
+		if len(got) == 2 {
+			if got[0] != JobRunning || got[1] != JobDone {
+				t.Fatalf("transitions = %v, want [running done]", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("transitions = %v, want [running done]", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := q.Stats().Running; got != 0 {
+		t.Errorf("Stats().Running after completion = %d, want 0", got)
+	}
+
+	// A job drained by Close never runs: only JobDone is observed.
+	blocker, err := q.Submit(context.Background(), batchJobs(t, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained []JobState
+	var dmu sync.Mutex
+	queued, err := q.SubmitObserved(context.Background(), batchJobs(t, 1)[0], func(s JobState) {
+		dmu.Lock()
+		drained = append(drained, s)
+		dmu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, err := queued.Result(); !errors.Is(err, ErrQueueClosed) {
+		// The drained job may instead have been run if the worker got to it
+		// first; both are legal — only the observed sequence is pinned.
+		dmu.Lock()
+		if len(drained) != 2 || drained[0] != JobRunning {
+			t.Errorf("run-before-close job transitions = %v", drained)
+		}
+		dmu.Unlock()
+	} else {
+		dmu.Lock()
+		if len(drained) != 1 || drained[0] != JobDone {
+			t.Errorf("drained job transitions = %v, want [done]", drained)
+		}
+		dmu.Unlock()
+	}
+	if _, err := blocker.Result(); err != nil && !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("blocker err = %v", err)
 	}
 }

@@ -1,8 +1,10 @@
 // Package serve exposes the standardization engine as a long-running HTTP
-// service: POST /v1/jobs submits a script against a named dataset, GET
-// /v1/jobs/{id} polls status and result, DELETE /v1/jobs/{id} cancels via
-// the engine's context plumbing, and /healthz + /metrics expose liveness
-// and the obs counters in Prometheus text format.
+// service: POST /v1/jobs submits a script against a named dataset (with
+// optional Idempotency-Key dedup), GET /v1/jobs lists jobs with cursor
+// pagination, GET /v1/jobs/{id} polls status and result, DELETE
+// /v1/jobs/{id} cancels via the engine's context plumbing, and /healthz +
+// /metrics expose readiness and the obs counters in Prometheus text
+// format.
 //
 // The server keeps one lucidscript.System per named dataset, so corpus
 // curation is paid exactly once per dataset for the life of the process,
@@ -10,6 +12,15 @@
 // cache through a bounded, admission-controlled JobQueue: overload is shed
 // with 429 + Retry-After instead of stacked goroutines, and SIGTERM drains
 // in-flight jobs before the listener closes.
+//
+// With Config.DataDir set the server is durable: every submission, state
+// transition, and terminal result is appended to a per-data-dir
+// write-ahead log (internal/serve/store) with periodic snapshots, so a
+// restart against the same directory replays the full job history —
+// finished jobs stay retrievable with their original results and output
+// hashes, queued jobs are deterministically re-enqueued, and jobs that
+// were mid-run are marked interrupted for the client to resubmit (their
+// idempotency keys are released for exactly that).
 //
 // This file defines the JSON wire types, shared verbatim by Server and
 // Client so the two cannot drift.
@@ -54,9 +65,30 @@ const (
 	// CodeInputScriptFails marks a job whose input script does not execute
 	// against the dataset.
 	CodeInputScriptFails = "input_script_fails"
+	// CodeInterrupted marks a job that was queued or running when the
+	// server stopped and could not be carried across the restart. It is
+	// the one retryable terminal state: resubmitting with the same
+	// idempotency key starts a fresh job instead of replaying this one.
+	CodeInterrupted = "interrupted"
+	// CodeIdempotencyConflict marks a submission whose Idempotency-Key is
+	// already bound to a different request (other dataset or script), or a
+	// request whose header and body keys disagree (HTTP 409).
+	CodeIdempotencyConflict = "idempotency_conflict"
 	// CodeInternal marks any other failure.
 	CodeInternal = "internal"
 )
+
+// retryableCode reports whether an error code marks a failure the client
+// should retry (with the same idempotency key, after backing off). The
+// judgment is the server's, carried to clients in ErrorResponse.Retryable
+// and JobStatus via the interrupted state.
+func retryableCode(code string) bool {
+	switch code {
+	case CodeQueueFull, CodeShuttingDown, CodeInterrupted, CodeInternal:
+		return true
+	}
+	return false
+}
 
 // The JobStatus.State values, mirroring lucidscript.JobState plus the two
 // terminal failure refinements the HTTP surface distinguishes.
@@ -73,7 +105,26 @@ const (
 	// StateCanceled: stopped by cancellation; Result may hold the partial
 	// result found before the cancel landed.
 	StateCanceled = "canceled"
+	// StateInterrupted: the job was alive (queued or running) when the
+	// server stopped and was not carried across the restart. Terminal and
+	// retryable — resubmit, reusing the idempotency key if one was set.
+	StateInterrupted = "interrupted"
 )
+
+// States lists every JobStatus.State value, in lifecycle order — the
+// vocabulary the list endpoint's state filter validates against.
+var States = []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateInterrupted}
+
+// TerminalState reports whether a wire state is a resting state — one a
+// job can never leave (interrupted included: the job itself is over; only
+// a fresh submission continues the work).
+func TerminalState(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCanceled, StateInterrupted:
+		return true
+	}
+	return false
+}
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
@@ -86,6 +137,13 @@ type SubmitRequest struct {
 	// beam …) are fixed per dataset at server start — curation depends on
 	// them — so per-job options are deliberately small.
 	Options *JobOptions `json:"options,omitempty"`
+	// IdempotencyKey is the body-side spelling of the Idempotency-Key
+	// header (either works; when both are set they must agree). A retried
+	// submission carrying the key of an already-accepted job returns that
+	// job's status (HTTP 200, Idempotency-Replayed: true) instead of
+	// executing the work twice. Keys are released only when their job is
+	// evicted or lands interrupted.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // JobOptions are the per-job knobs a submission may set.
@@ -110,9 +168,22 @@ type JobStatus struct {
 	// Result is set once the job is done (and on cancellations that
 	// salvaged a partial result).
 	Result *JobResult `json:"result,omitempty"`
+	// IdempotencyKey echoes the submission's key, when one was sent.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// SubmittedAt / FinishedAt are server-clock timestamps (RFC 3339).
 	SubmittedAt time.Time  `json:"submitted_at"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// ListResponse is the GET /v1/jobs payload: one page of job statuses in
+// submission (id) order plus the cursor for the next page.
+type ListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextCursor is passed back as ?cursor= to fetch the page after this
+	// one; empty when this page reaches the end. The cursor is an opaque
+	// position token — evictions and new submissions between pages are
+	// handled (no duplicates, no skips among surviving jobs).
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // JobResult is the standardization outcome carried by JobStatus.
@@ -161,35 +232,67 @@ type JobTimings struct {
 	TotalMS  float64 `json:"total_ms"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response — one uniform
+// shape: a machine-readable code, a human-readable message, whether the
+// failure is worth retrying, and (when it is) how long to wait.
 type ErrorResponse struct {
-	Error string `json:"error"`
 	// Code is one of the Code* constants.
 	Code string `json:"code"`
+	// Message is the human-readable error.
+	Message string `json:"message"`
+	// Retryable reports whether the same request may succeed later; the
+	// client's backoff helper keys off it (see Client and RetryPolicy).
+	Retryable bool `json:"retryable"`
 	// RetryAfterMS hints when to retry (429/503 only); the same value is
 	// in the Retry-After header in seconds.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-// HealthResponse is the GET /healthz payload.
+// HealthResponse is the GET /healthz payload: machine-readable readiness
+// for pollers and the future multi-replica router.
 type HealthResponse struct {
-	// Status is "ok" while serving and "draining" once shutdown began.
-	Status string `json:"status"`
+	// Status is "ok" while serving and "draining" once shutdown began;
+	// Draining is the same signal as a bool.
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// QueueDepth and Running aggregate the per-dataset queued and
+	// executing job counts.
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
 	// Datasets maps each hosted dataset to its queue snapshot.
 	Datasets map[string]DatasetHealth `json:"datasets"`
+	// Store reports write-ahead-log health when the server is durable
+	// (Config.DataDir set); nil otherwise.
+	Store *StoreHealth `json:"store,omitempty"`
 }
 
 // DatasetHealth is one dataset's queue snapshot inside HealthResponse.
 type DatasetHealth struct {
+	// QueueDepth is the admitted-but-waiting count; Running is how many
+	// jobs this dataset's workers are executing right now.
 	QueueDepth    int   `json:"queue_depth"`
 	QueueCapacity int   `json:"queue_capacity"`
 	Workers       int   `json:"workers"`
+	Running       int   `json:"running"`
 	Submitted     int64 `json:"submitted"`
 	Rejected      int64 `json:"rejected"`
 	Completed     int64 `json:"completed"`
 	Failed        int64 `json:"failed"`
 	// CorpusScripts is the curated corpus size backing this dataset.
 	CorpusScripts int `json:"corpus_scripts"`
+}
+
+// StoreHealth is the durable store's snapshot inside HealthResponse.
+type StoreHealth struct {
+	// WALLagEntries/WALLagBytes measure how far the write-ahead log has
+	// run ahead of the last snapshot — the recovery debt a restart would
+	// replay.
+	WALLagEntries int64 `json:"wal_lag_entries"`
+	WALLagBytes   int64 `json:"wal_lag_bytes"`
+	// Compactions counts snapshot rewrites since this process started.
+	Compactions int64 `json:"compactions"`
+	// Jobs is how many job records the store currently holds.
+	Jobs int `json:"jobs"`
 }
 
 // toWireResult converts a facade Result (possibly a partial one) plus its

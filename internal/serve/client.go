@@ -8,21 +8,33 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // The sentinel errors a Client maps HTTP failures onto; match with
-// errors.Is. The full server payload (code, message, retry hint) rides
-// along as a wrapped *APIError.
+// errors.Is. Every non-2xx response wraps one of these, and the full
+// server payload (code, message, retry hint) rides along as a wrapped
+// *APIError — so callers choose their granularity: errors.Is for the
+// class, errors.As for the code.
 var (
+	// ErrBadRequest: the server rejected the request as malformed (HTTP
+	// 400) — bad script, bad options, bad query parameter. Not retryable.
+	ErrBadRequest = errors.New("serve: bad request")
 	// ErrNotFound: unknown job id or dataset (HTTP 404).
 	ErrNotFound = errors.New("serve: not found")
+	// ErrConflict: an idempotency key is already bound to a different
+	// request (HTTP 409). Not retryable — the caller's key reuse is a bug.
+	ErrConflict = errors.New("serve: conflict")
 	// ErrOverloaded: admission control rejected the submission (HTTP 429);
 	// honor APIError.RetryAfter.
 	ErrOverloaded = errors.New("serve: server overloaded")
 	// ErrDraining: the server is shutting down (HTTP 503).
 	ErrDraining = errors.New("serve: server draining")
+	// ErrInternal: the server failed internally (HTTP 5xx other than 503).
+	ErrInternal = errors.New("serve: internal server error")
 )
 
 // APIError is the decoded server error payload, reachable via errors.As on
@@ -34,6 +46,9 @@ type APIError struct {
 	Code string
 	// Message is the human-readable error.
 	Message string
+	// Retryable is the server's verdict on whether the same request can
+	// simply be retried (after RetryAfter, when set).
+	Retryable bool
 	// RetryAfter is the server's back-off hint (zero when absent).
 	RetryAfter time.Duration
 }
@@ -41,6 +56,15 @@ type APIError struct {
 // Error renders the payload.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("serve: HTTP %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Retryable reports whether err is a server response marked safe to retry
+// verbatim. Transport-level failures (no HTTP response at all) are not —
+// the caller cannot know whether the submission was admitted; resubmit
+// with an idempotency key instead.
+func Retryable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Retryable
 }
 
 // Client is a typed wrapper over the HTTP API — the one client the e2e
@@ -62,12 +86,25 @@ func NewClient(base string, hc *http.Client) *Client {
 // Submit enqueues one standardization and returns its accepted status
 // (state "queued"); poll Job or call Wait with the returned ID.
 func (c *Client) Submit(ctx context.Context, dataset, scriptSrc string, opts *JobOptions) (*JobStatus, error) {
-	body, err := json.Marshal(SubmitRequest{Dataset: dataset, Script: scriptSrc, Options: opts})
+	return c.SubmitIdempotent(ctx, dataset, scriptSrc, opts, "")
+}
+
+// SubmitIdempotent is Submit with an idempotency key: a retry carrying
+// the same key returns the original job (whatever state it has reached)
+// instead of enqueueing a duplicate — the server signals a replay with
+// the Idempotency-Replayed response header and HTTP 200 instead of 202.
+// An empty key degrades to plain Submit.
+func (c *Client) SubmitIdempotent(ctx context.Context, dataset, scriptSrc string, opts *JobOptions, key string) (*JobStatus, error) {
+	body, err := json.Marshal(SubmitRequest{Dataset: dataset, Script: scriptSrc, Options: opts, IdempotencyKey: key})
 	if err != nil {
 		return nil, err
 	}
+	var hdr http.Header
+	if key != "" {
+		hdr = http.Header{"Idempotency-Key": []string{key}}
+	}
 	var st JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", hdr, body, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -76,17 +113,75 @@ func (c *Client) Submit(ctx context.Context, dataset, scriptSrc string, opts *Jo
 // Job fetches one job's current status.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// ListJobsQuery filters one GET /v1/jobs page. The zero value lists the
+// first server-default page of every job.
+type ListJobsQuery struct {
+	// State keeps only jobs currently in this wire state ("" = all).
+	State string
+	// Dataset keeps only jobs submitted against this dataset ("" = all).
+	Dataset string
+	// Limit caps the page size (0 = server default of 100; server-capped
+	// at 1000).
+	Limit int
+	// Cursor resumes a walk: pass the previous page's NextCursor.
+	Cursor string
+}
+
+// ListJobs fetches one page of jobs in submission (id) order. A non-empty
+// NextCursor on the response means more pages exist — pass it back via
+// q.Cursor to continue.
+func (c *Client) ListJobs(ctx context.Context, q ListJobsQuery) (*ListResponse, error) {
+	v := url.Values{}
+	if q.State != "" {
+		v.Set("state", q.State)
+	}
+	if q.Dataset != "" {
+		v.Set("dataset", q.Dataset)
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Cursor != "" {
+		v.Set("cursor", q.Cursor)
+	}
+	path := "/v1/jobs"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var resp ListResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// AllJobs walks every page of ListJobs and returns the concatenation.
+func (c *Client) AllJobs(ctx context.Context, q ListJobsQuery) ([]JobStatus, error) {
+	var all []JobStatus
+	for {
+		page, err := c.ListJobs(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Jobs...)
+		if page.NextCursor == "" {
+			return all, nil
+		}
+		q.Cursor = page.NextCursor
+	}
 }
 
 // Cancel asks the server to stop a job and returns its status afterward.
 // Canceling an already-finished job is a no-op.
 func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -105,8 +200,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 		if err != nil {
 			return nil, err
 		}
-		switch st.State {
-		case StateDone, StateFailed, StateCanceled:
+		if TerminalState(st.State) {
 			return st, nil
 		}
 		select {
@@ -120,7 +214,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 // Healthz fetches the liveness and queue snapshot.
 func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
 	var h HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil
@@ -149,7 +243,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 
 // do performs one JSON round trip, mapping non-2xx responses to the typed
 // sentinels.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out interface{}) error {
+func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, body []byte, out interface{}) error {
 	var rdr io.Reader
 	if body != nil {
 		rdr = bytes.NewReader(body)
@@ -157,6 +251,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
 	if err != nil {
 		return err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -172,16 +269,29 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out i
 	apiErr := &APIError{StatusCode: resp.StatusCode}
 	var er ErrorResponse
 	if derr := json.NewDecoder(resp.Body).Decode(&er); derr == nil {
-		apiErr.Code, apiErr.Message = er.Code, er.Error
+		apiErr.Code, apiErr.Message = er.Code, er.Message
+		apiErr.Retryable = er.Retryable
 		apiErr.RetryAfter = time.Duration(er.RetryAfterMS) * time.Millisecond
 	}
+	var class error
 	switch resp.StatusCode {
+	case http.StatusBadRequest:
+		class = ErrBadRequest
 	case http.StatusNotFound:
-		return fmt.Errorf("%w: %w", ErrNotFound, apiErr)
+		class = ErrNotFound
+	case http.StatusConflict:
+		class = ErrConflict
 	case http.StatusTooManyRequests:
-		return fmt.Errorf("%w: %w", ErrOverloaded, apiErr)
+		class = ErrOverloaded
 	case http.StatusServiceUnavailable:
-		return fmt.Errorf("%w: %w", ErrDraining, apiErr)
+		class = ErrDraining
+	default:
+		if resp.StatusCode >= 500 {
+			class = ErrInternal
+		}
 	}
-	return apiErr
+	if class == nil {
+		return apiErr
+	}
+	return fmt.Errorf("%w: %w", class, apiErr)
 }

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/gen"
+	"lucidscript/internal/serve/store"
+)
+
+// TestServeIdempotencyReplay pins the POST /v1/jobs idempotency contract:
+// a retried submission with the same key returns the original job (HTTP
+// 200 + Idempotency-Replayed instead of 202), the same key with a
+// different request is a 409, and a disagreeing header/body pair is a 409
+// before any work is admitted.
+func TestServeIdempotencyReplay(t *testing.T) {
+	sys := genSystem(t, 42, genOptions())
+	srv, client := startServer(t, map[string]*lucidscript.System{"gen": sys}, Config{Workers: 2})
+	ctx := context.Background()
+	src := gen.New(3).ScriptSource()
+
+	first, err := client.SubmitIdempotent(ctx, "gen", src, nil, "key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.IdempotencyKey != "key-1" {
+		t.Errorf("status echoes key %q, want key-1", first.IdempotencyKey)
+	}
+	// Retry while possibly still in flight: same job, not a new one.
+	again, err := client.SubmitIdempotent(ctx, "gen", src, nil, "key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != first.ID {
+		t.Fatalf("replayed submit returned job %s, want original %s", again.ID, first.ID)
+	}
+	// And again after completion: now the replay carries the full result.
+	done, err := client.Wait(ctx, first.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("state = %q (error %q)", done.State, done.Error)
+	}
+	replay, err := client.SubmitIdempotent(ctx, "gen", src, nil, "key-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.ID != first.ID || replay.State != StateDone || replay.Result == nil {
+		t.Fatalf("post-completion replay = %+v, want done job %s with result", replay, first.ID)
+	}
+
+	// Same key, different script: the key reuse is the caller's bug — 409.
+	other := gen.New(5).ScriptSource()
+	_, err = client.SubmitIdempotent(ctx, "gen", other, nil, "key-1")
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting reuse err = %v, want ErrConflict", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeIdempotencyConflict {
+		t.Fatalf("conflict APIError = %+v, want code %q", apiErr, CodeIdempotencyConflict)
+	}
+	if Retryable(err) {
+		t.Error("idempotency conflict marked retryable")
+	}
+
+	// Raw wire check: the replay is a 200 with the Idempotency-Replayed
+	// header, and a header/body key mismatch is rejected outright.
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	body := `{"dataset":"gen","script":` + jsonString(src) + `,"idempotency_key":"key-1"}`
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "key-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Errorf("replay = HTTP %d, Idempotency-Replayed=%q; want 200/true",
+			resp.StatusCode, resp.Header.Get("Idempotency-Replayed"))
+	}
+	req, _ = http.NewRequest(http.MethodPost, hs.URL+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "a-different-key")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("header/body key mismatch = HTTP %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeDurableRestart is the in-process half of the durability
+// acceptance criterion: run jobs against a DataDir server, shut it down,
+// bring a new server up on the same directory, and check every finished
+// job is still there — same states, same results, same output hashes,
+// same finish timestamps (the proof nothing re-executed) — and that
+// idempotency keys still replay instead of duplicating work.
+func TestServeDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	jobs := gen.New(7).Scripts(4)
+
+	sys := genSystem(t, 42, genOptions())
+	srv1, client1 := startServer(t, map[string]*lucidscript.System{"gen": sys},
+		Config{Workers: 2, DataDir: dir})
+
+	before := make(map[string]*JobStatus)
+	for i, su := range jobs {
+		key := ""
+		if i%2 == 0 {
+			key = fmt.Sprintf("restart-key-%d", i)
+		}
+		sub, err := client1.SubmitIdempotent(ctx, "gen", su.Source(), nil, key)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		st, err := client1.Wait(ctx, sub.ID, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+		if st.State != StateDone || st.Result == nil || st.Result.OutputHash == "" {
+			t.Fatalf("job %d = %q (error %q), want done with hash", i, st.State, st.Error)
+		}
+		before[st.ID] = st
+	}
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Same directory, fresh process-equivalent: identically-curated System.
+	sys2 := genSystem(t, 42, genOptions())
+	srv2, client2 := startServer(t, map[string]*lucidscript.System{"gen": sys2},
+		Config{Workers: 2, DataDir: dir})
+	rec := srv2.Recovery()
+	if rec.Terminal != len(jobs) || rec.Requeued != 0 || rec.Interrupted != 0 {
+		t.Fatalf("recovery = %+v, want %d terminal", rec, len(jobs))
+	}
+
+	for id, want := range before {
+		got, err := client2.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s lost across restart: %v", id, err)
+		}
+		if got.State != want.State || got.Dataset != want.Dataset || got.IdempotencyKey != want.IdempotencyKey {
+			t.Errorf("job %s after restart = %+v, want %+v", id, got, want)
+		}
+		if got.Result == nil || got.Result.Script != want.Result.Script || got.Result.OutputHash != want.Result.OutputHash {
+			t.Errorf("job %s result drifted across restart", id)
+		}
+		if got.FinishedAt == nil || !got.FinishedAt.Equal(*want.FinishedAt) {
+			t.Errorf("job %s finished_at = %v, want %v (a changed timestamp means it re-executed)",
+				id, got.FinishedAt, want.FinishedAt)
+		}
+	}
+
+	// The listing shows exactly the recovered jobs, and an idempotent
+	// resubmit with an original key replays the recovered job.
+	all, err := client2.AllJobs(ctx, ListJobsQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(jobs) {
+		t.Errorf("list after restart = %d jobs, want %d", len(all), len(jobs))
+	}
+	otherSrc := gen.New(99).ScriptSource()
+	for id, want := range before {
+		if want.IdempotencyKey == "" {
+			continue
+		}
+		// A recovered key guards against drifted retries too: the same key
+		// with a different (still valid) script is a conflict…
+		replay, err := client2.SubmitIdempotent(ctx, "gen", otherSrc, nil, want.IdempotencyKey)
+		if !errors.Is(err, ErrConflict) {
+			t.Fatalf("key %q with different script: err = %v (status %+v), want ErrConflict",
+				want.IdempotencyKey, err, replay)
+		}
+		// …and with the original script it replays the recovered job.
+		replay, err = client2.SubmitIdempotent(ctx, "gen", jobSourceOf(t, jobs, want), nil, want.IdempotencyKey)
+		if err != nil {
+			t.Fatalf("replay key %q: %v", want.IdempotencyKey, err)
+		}
+		if replay.ID != id {
+			t.Errorf("replay with key %q = job %s, want %s", want.IdempotencyKey, replay.ID, id)
+		}
+	}
+	if err := srv2.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// jobSourceOf recovers which submitted source produced a job status by
+// matching the recorded result script against nothing — the original
+// submission source is not in JobStatus, so match by re-submission order:
+// the durable store keeps submission order in the id, and jobs were
+// submitted in slice order.
+func jobSourceOf(t *testing.T, jobs []*lucidscript.Script, st *JobStatus) string {
+	t.Helper()
+	var idx int
+	if n, err := parseJobIndex(st.ID); err == nil {
+		idx = n - 1
+	} else {
+		t.Fatalf("unparseable job id %q: %v", st.ID, err)
+	}
+	if idx < 0 || idx >= len(jobs) {
+		t.Fatalf("job id %q outside submission range", st.ID)
+	}
+	return jobs[idx].Source()
+}
+
+// parseJobIndex extracts the sequence number from a j-%08d id.
+func parseJobIndex(id string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// TestServeRecoveryPolicies drives every recovery branch through a
+// hand-built store — the deterministic in-process stand-in for a crash:
+// terminal records are adopted verbatim, queued records re-enqueue and
+// run to completion, running records land interrupted with their
+// idempotency keys released, and queued records that can no longer be
+// re-enqueued (unknown dataset, unparseable script) also land
+// interrupted.
+func TestServeRecoveryPolicies(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	src := gen.New(3).ScriptSource()
+	// The finish timestamp must be within the retention window, or the
+	// adopted record is (correctly) evicted the moment it is recovered.
+	base := time.Now().UTC().Add(-time.Minute).Truncate(time.Second)
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j-1: finished, with a (fabricated) result payload.
+	must(t, st.AppendSubmit(&store.Record{ID: "j-00000001", Seq: 1, Dataset: "gen", Script: src, IdempotencyKey: "done-key", SubmittedAt: base}))
+	must(t, st.AppendFinish("j-00000001", store.StateDone, "", "", []byte(`{"script":"x","output_hash":"abc","re_before":1,"re_after":0,"improvement_pct":100,"intent_value":1,"timings":{"curate_ms":0,"get_steps_ms":0,"top_k_beams_ms":0,"check_executes_ms":0,"verify_constraints_ms":0,"total_ms":1}}`), base.Add(time.Second)))
+	// j-2: still queued — must re-enqueue and complete for real.
+	must(t, st.AppendSubmit(&store.Record{ID: "j-00000002", Seq: 2, Dataset: "gen", Script: src, SubmittedAt: base}))
+	// j-3: was running — must come back interrupted, key released.
+	must(t, st.AppendSubmit(&store.Record{ID: "j-00000003", Seq: 3, Dataset: "gen", Script: src, IdempotencyKey: "running-key", SubmittedAt: base}))
+	must(t, st.AppendRunning("j-00000003"))
+	// j-4: queued against a dataset this server no longer hosts.
+	must(t, st.AppendSubmit(&store.Record{ID: "j-00000004", Seq: 4, Dataset: "gone", Script: src, SubmittedAt: base}))
+	// j-5: queued but its stored script no longer parses.
+	must(t, st.AppendSubmit(&store.Record{ID: "j-00000005", Seq: 5, Dataset: "gen", Script: "df = df.((broken", SubmittedAt: base}))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := genSystem(t, 42, genOptions())
+	srv, client := startServer(t, map[string]*lucidscript.System{"gen": sys},
+		Config{Workers: 2, DataDir: dir})
+	rec := srv.Recovery()
+	if rec.Terminal != 1 || rec.Requeued != 1 || rec.Interrupted != 3 {
+		t.Fatalf("recovery = %+v, want 1 terminal / 1 requeued / 3 interrupted", rec)
+	}
+
+	// Adopted terminal: result intact.
+	done, err := client.Job(ctx, "j-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone || done.Result == nil || done.Result.OutputHash != "abc" {
+		t.Errorf("adopted job = %+v, want done with original hash", done)
+	}
+
+	// Requeued: runs to done on the new server.
+	requeued, err := client.Wait(ctx, "j-00000002", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued.State != StateDone || requeued.Result == nil {
+		t.Errorf("requeued job = %q (error %q), want done", requeued.State, requeued.Error)
+	}
+
+	// Interrupted trio: terminal, retryable code, reasons attached.
+	for _, id := range []string{"j-00000003", "j-00000004", "j-00000005"} {
+		st, err := client.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if st.State != StateInterrupted || st.Code != CodeInterrupted || st.Error == "" {
+			t.Errorf("job %s = %q/%q (%q), want interrupted with reason", id, st.State, st.Code, st.Error)
+		}
+		if st.FinishedAt == nil {
+			t.Errorf("job %s interrupted without finished_at", id)
+		}
+	}
+
+	// The running job's key was released: the same key now starts a fresh
+	// job rather than replaying the interrupted one.
+	fresh, err := client.SubmitIdempotent(ctx, "gen", src, nil, "running-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == "j-00000003" {
+		t.Error("interrupted job's key replayed instead of starting fresh work")
+	}
+	// Ids never collide with recovered history: the new job is past seq 5.
+	if n, err := parseJobIndex(fresh.ID); err != nil || n <= 5 {
+		t.Errorf("fresh job id %q did not resume past recovered MaxSeq", fresh.ID)
+	}
+	// The done job's key still replays.
+	replay, err := client.SubmitIdempotent(ctx, "gen", src, nil, "done-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.ID != "j-00000001" {
+		t.Errorf("done job's key replayed %s, want j-00000001", replay.ID)
+	}
+	if _, err := client.Wait(ctx, fresh.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// must fails the test on a store append error.
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/gen"
+)
+
+// TestServeListJobs drives GET /v1/jobs end to end: full listing in id
+// order, cursor pagination with a limit smaller than the population,
+// state and dataset filters, and the 400 surface for bad parameters.
+func TestServeListJobs(t *testing.T) {
+	a := genSystem(t, 42, genOptions())
+	b := genSystem(t, 1042, genOptions())
+	_, client := startServer(t, map[string]*lucidscript.System{"alpha": a, "beta": b},
+		Config{Workers: 2, QueueDepth: 16})
+	ctx := context.Background()
+
+	var want []string
+	for i, su := range gen.New(7).Scripts(6) {
+		name := "alpha"
+		if i >= 4 {
+			name = "beta"
+		}
+		st, err := client.Submit(ctx, name, su.Source(), nil)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		want = append(want, st.ID)
+	}
+	for _, id := range want {
+		if _, err := client.Wait(ctx, id, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+
+	// One big page: every job, in id order.
+	all, err := client.ListJobs(ctx, ListJobsQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NextCursor != "" {
+		t.Errorf("single page returned a cursor %q", all.NextCursor)
+	}
+	var got []string
+	for _, st := range all.Jobs {
+		got = append(got, st.ID)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("list = %d jobs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("list order = %v, want %v", got, want)
+		}
+	}
+
+	// Cursor walk with limit 2: three pages, no duplicates, no skips.
+	var walked []string
+	q := ListJobsQuery{Limit: 2}
+	pages := 0
+	for {
+		page, err := client.ListJobs(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page of %d jobs exceeds limit 2", len(page.Jobs))
+		}
+		for _, st := range page.Jobs {
+			walked = append(walked, st.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	if pages != 3 {
+		t.Errorf("walk took %d pages, want 3", pages)
+	}
+	for i := range want {
+		if i >= len(walked) || walked[i] != want[i] {
+			t.Fatalf("cursor walk = %v, want %v", walked, want)
+		}
+	}
+
+	// Filters compose: dataset narrows to beta's two jobs, state=done
+	// matches everything (all jobs have finished), state=queued nothing.
+	beta, err := client.AllJobs(ctx, ListJobsQuery{Dataset: "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beta) != 2 {
+		t.Errorf("dataset=beta = %d jobs, want 2", len(beta))
+	}
+	done, err := client.AllJobs(ctx, ListJobsQuery{State: StateDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(want) {
+		t.Errorf("state=done = %d jobs, want %d", len(done), len(want))
+	}
+	queued, err := client.AllJobs(ctx, ListJobsQuery{State: StateQueued})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queued) != 0 {
+		t.Errorf("state=queued = %d jobs, want 0", len(queued))
+	}
+
+	// Bad parameters are 400s with the bad_request code.
+	for _, q := range []ListJobsQuery{{State: "bogus"}, {Limit: -1}} {
+		_, err := client.ListJobs(ctx, q)
+		if q.Limit < 0 {
+			// The client drops non-positive limits; drive the raw query.
+			err = rawList(client, "limit=-1")
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("query %+v err = %v, want ErrBadRequest", q, err)
+		}
+	}
+}
+
+// rawList hits GET /v1/jobs with a raw query string through the client's
+// error mapping.
+func rawList(c *Client, rawQuery string) error {
+	var resp ListResponse
+	return c.do(context.Background(), http.MethodGet, "/v1/jobs?"+rawQuery, nil, nil, &resp)
+}
+
+// TestRetryPolicyBackoff scripts a server that rejects twice retryably
+// before accepting, and checks the policy pushes through while honoring
+// the server's own retryable verdict.
+func TestRetryPolicyBackoff(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(ErrorResponse{
+				Code: CodeQueueFull, Message: "full", Retryable: true, RetryAfterMS: 1,
+			})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(JobStatus{ID: "j-00000001", Dataset: "gen", State: StateQueued})
+	}))
+	defer hs.Close()
+
+	client := NewClient(hs.URL, nil)
+	st, err := client.SubmitRetry(context.Background(), "gen", "src", nil, "k",
+		RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("SubmitRetry: %v", err)
+	}
+	if st.ID != "j-00000001" || calls.Load() != 3 {
+		t.Errorf("got job %q after %d calls, want j-00000001 after 3", st.ID, calls.Load())
+	}
+}
+
+// TestRetryPolicyStops pins the two ways the loop must NOT retry: a
+// non-retryable error returns immediately, and exhausted attempts return
+// the last retryable error.
+func TestRetryPolicyStops(t *testing.T) {
+	var calls atomic.Int64
+	status := atomic.Int64{}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		switch status.Load() {
+		case 400:
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(ErrorResponse{Code: CodeBadRequest, Message: "nope"})
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(ErrorResponse{
+				Code: CodeShuttingDown, Message: "draining", Retryable: true, RetryAfterMS: 1,
+			})
+		}
+	}))
+	defer hs.Close()
+	client := NewClient(hs.URL, nil)
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+
+	status.Store(400)
+	_, err := client.SubmitRetry(context.Background(), "gen", "src", nil, "k", policy)
+	if !errors.Is(err, ErrBadRequest) || calls.Load() != 1 {
+		t.Errorf("non-retryable: err=%v after %d calls, want ErrBadRequest after 1", err, calls.Load())
+	}
+	if Retryable(err) {
+		t.Error("bad_request reported retryable")
+	}
+
+	calls.Store(0)
+	status.Store(503)
+	_, err = client.SubmitRetry(context.Background(), "gen", "src", nil, "k", policy)
+	if !errors.Is(err, ErrDraining) || calls.Load() != 3 {
+		t.Errorf("exhausted: err=%v after %d calls, want ErrDraining after 3", err, calls.Load())
+	}
+	if !Retryable(err) {
+		t.Error("draining error not reported retryable")
+	}
+
+	// A canceled context stops the loop between attempts.
+	calls.Store(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = client.SubmitRetry(ctx, "gen", "src", nil, "k",
+		RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// RetryPolicy drives the client-side backoff loop for retryable API
+// errors (ErrorResponse.Retryable — queue-full, draining, interrupted,
+// internal). The zero value resolves to 4 attempts starting at 50ms and
+// capped at 2s per wait.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first call included); ≤ 0 → 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (doubled each retry); ≤ 0 →
+	// 50ms. A server Retry-After hint longer than the computed delay wins.
+	BaseDelay time.Duration
+	// MaxDelay caps any single wait; ≤ 0 → 2s.
+	MaxDelay time.Duration
+}
+
+// withDefaults resolves the zero values.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// Do runs fn under the policy: a nil or non-retryable error returns
+// immediately; a retryable one (per the server's own verdict — see
+// Retryable) is retried with exponential backoff, honoring any
+// Retry-After hint when it is longer than the computed delay. The last
+// error is returned when attempts run out or ctx ends first.
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) error {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err = fn(); err == nil || !Retryable(err) {
+			return err
+		}
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		wait := delay
+		if ra := retryAfterOf(err); ra > wait {
+			wait = ra
+		}
+		if wait > p.MaxDelay {
+			wait = p.MaxDelay
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		delay *= 2
+	}
+	return err
+}
+
+// retryAfterOf extracts the server's Retry-After hint from an error chain.
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// SubmitRetry submits with an idempotency key under a retry policy: the
+// key makes the retries safe (a duplicate delivery replays the original
+// job rather than duplicating work), and the policy absorbs transient
+// queue-full / draining rejections. key must be non-empty — retrying a
+// keyless submission could execute the job twice.
+func (c *Client) SubmitRetry(ctx context.Context, dataset, scriptSrc string, opts *JobOptions, key string, policy RetryPolicy) (*JobStatus, error) {
+	if key == "" {
+		panic("serve: SubmitRetry requires an idempotency key")
+	}
+	var st *JobStatus
+	err := policy.Do(ctx, func() error {
+		var ferr error
+		st, ferr = c.SubmitIdempotent(ctx, dataset, scriptSrc, opts, key)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}

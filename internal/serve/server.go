@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"lucidscript"
 	"lucidscript/internal/faults"
 	"lucidscript/internal/obs"
+	"lucidscript/internal/serve/store"
 )
 
 // Config tunes a Server. The zero value is serviceable: every field
@@ -32,8 +34,20 @@ type Config struct {
 	// JobRetention is how long a finished job's record (status, result,
 	// output hash) stays pollable before it is evicted and GET/DELETE on
 	// its id return 404; ≤ 0 resolves to 15m. Without eviction the job map
-	// would grow with every submission for the life of the server.
+	// would grow with every submission for the life of the server. On a
+	// durable server eviction also removes the record from the store.
 	JobRetention time.Duration
+	// DataDir, when non-empty, makes the server durable: jobs are recorded
+	// in a write-ahead log + snapshot under this directory
+	// (internal/serve/store) and survive a restart against the same path —
+	// finished jobs keep their results and output hashes, queued jobs are
+	// re-enqueued in submission order, and jobs that were mid-run land in
+	// the interrupted state. Empty keeps the old in-memory behavior.
+	DataDir string
+	// SnapshotEvery is the WAL-appends-per-snapshot compaction cadence of
+	// the durable store; ≤ 0 resolves to the store's default (512).
+	// Ignored without DataDir.
+	SnapshotEvery int
 	// Metrics receives queue and HTTP counters and backs GET /metrics.
 	// Nil resolves to a fresh private registry. To fold the search's own
 	// counters into the same exposition, pass the registry the Systems
@@ -68,18 +82,36 @@ type dataset struct {
 
 // jobRecord tracks one submitted job until its retention window expires.
 type jobRecord struct {
-	id        string
-	dataset   *dataset
-	job       *lucidscript.QueuedJob
-	submitted time.Time
+	id          string
+	datasetName string
+	idemKey     string
+	script      string
+	submitted   time.Time
 
-	// finalized is closed by the per-job finalizer goroutine once
-	// finished, hash, and hashErr are recorded; status only reads them
-	// after the close, so no lock is needed.
+	// dataset and job are nil for records recovered from the store in a
+	// terminal state — there is nothing left to execute or hash.
+	dataset *dataset
+	job     *lucidscript.QueuedJob
+
+	// finalized is closed once terminal holds the job's final wire status;
+	// status only reads terminal after the close, so no lock is needed. It
+	// is closed at construction for recovered-terminal records.
 	finalized chan struct{}
-	finished  time.Time
-	hash      string
-	hashErr   error
+	terminal  *JobStatus
+}
+
+// RecoveryStats summarizes what a durable server replayed at startup.
+type RecoveryStats struct {
+	// Terminal counts jobs recovered in a resting state (done, failed,
+	// canceled, interrupted) with their original results intact.
+	Terminal int
+	// Requeued counts jobs found queued in the log and deterministically
+	// re-enqueued, in original submission order.
+	Requeued int
+	// Interrupted counts jobs that were queued or running at the crash and
+	// could not be carried over — marked with the interrupted state for
+	// clients to resubmit.
+	Interrupted int
 }
 
 // Server hosts the standardization service. Build it with NewServer, mount
@@ -88,15 +120,21 @@ type Server struct {
 	cfg      Config
 	datasets map[string]*dataset
 	draining atomic.Bool
+	store    *store.Store
+	recovery RecoveryStats
 
 	mu   sync.RWMutex
 	jobs map[string]*jobRecord
+	idem map[string]*jobRecord
 	seq  atomic.Int64
 }
 
 // NewServer builds a server hosting one System per named dataset. Each
 // System's corpus was curated when the caller built it — NewServer starts
 // the per-dataset worker pools, so the server is serving-ready on return.
+// With cfg.DataDir set it first replays the durable store: terminal jobs
+// are restored as-is, queued jobs re-enqueued (they may begin executing
+// before NewServer returns), and mid-run jobs marked interrupted.
 func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, error) {
 	if len(systems) == 0 {
 		return nil, errors.New("serve: no datasets configured")
@@ -106,6 +144,7 @@ func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, err
 		cfg:      cfg,
 		datasets: make(map[string]*dataset, len(systems)),
 		jobs:     map[string]*jobRecord{},
+		idem:     map[string]*jobRecord{},
 	}
 	for name, sys := range systems {
 		if sys == nil {
@@ -119,7 +158,135 @@ func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, err
 		d.hashSem = make(chan struct{}, d.queue.Stats().Workers)
 		s.datasets[name] = d
 	}
+	if cfg.DataDir != "" {
+		st, err := store.Open(cfg.DataDir, store.Options{SnapshotEvery: cfg.SnapshotEvery})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.recover(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// recover replays the durable store into live server state: the id
+// sequence resumes past all recorded history, terminal records become
+// readable job statuses again, queued records are re-enqueued in original
+// submission order, and records caught queued-but-unrequeueable or running
+// are finished as interrupted.
+func (s *Server) recover() error {
+	s.seq.Store(s.store.MaxSeq())
+	for _, rec := range s.store.Records() {
+		switch {
+		case store.Terminal(rec.State):
+			s.adoptTerminal(rec)
+			s.recovery.Terminal++
+		case rec.State == store.StateRunning:
+			s.interruptRecord(rec, "job was running when the server stopped; resubmit to re-execute")
+		default: // queued
+			s.requeueRecord(rec)
+		}
+	}
+	return nil
+}
+
+// adoptTerminal rebuilds the in-memory record of a job that finished in a
+// previous life, scheduling its eviction relative to its original finish
+// time so retention spans restarts.
+func (s *Server) adoptTerminal(rec *store.Record) {
+	st := statusFromRecord(rec)
+	jr := &jobRecord{
+		id:          rec.ID,
+		datasetName: rec.Dataset,
+		idemKey:     rec.IdempotencyKey,
+		script:      rec.Script,
+		submitted:   rec.SubmittedAt,
+		finalized:   closedChan(),
+		terminal:    st,
+	}
+	s.jobs[jr.id] = jr
+	if jr.idemKey != "" && st.State != StateInterrupted {
+		s.idem[jr.idemKey] = jr
+	}
+	retain := s.cfg.JobRetention
+	if !rec.FinishedAt.IsZero() {
+		retain = time.Until(rec.FinishedAt.Add(s.cfg.JobRetention))
+		if retain < 0 {
+			retain = 0
+		}
+	}
+	s.scheduleEviction(jr, retain)
+}
+
+// interruptRecord finishes a stranded job in the interrupted state — the
+// retryable terminal state whose idempotency key is deliberately NOT
+// re-bound, so a client resubmitting with the same key starts fresh work.
+func (s *Server) interruptRecord(rec *store.Record, why string) {
+	now := time.Now().UTC()
+	_ = s.store.AppendFinish(rec.ID, store.StateInterrupted, CodeInterrupted, why, nil, now)
+	rec.State, rec.Code, rec.Error = store.StateInterrupted, CodeInterrupted, why
+	rec.Result, rec.FinishedAt = nil, now
+	s.adoptTerminal(rec)
+	s.recovery.Interrupted++
+}
+
+// requeueRecord resubmits a job the crash caught still queued. Failures to
+// re-enqueue (dataset no longer hosted, script no longer parses, queue
+// capacity shrank) finish the job as interrupted instead — deterministic
+// either way, processed in original submission order.
+func (s *Server) requeueRecord(rec *store.Record) {
+	d, ok := s.datasets[rec.Dataset]
+	if !ok {
+		s.interruptRecord(rec, fmt.Sprintf("dataset %q is no longer hosted", rec.Dataset))
+		return
+	}
+	sc, err := lucidscript.ParseScript(rec.Script)
+	if err != nil {
+		s.interruptRecord(rec, fmt.Sprintf("stored script no longer parses: %v", err))
+		return
+	}
+	job, err := d.queue.SubmitObserved(context.Background(), sc, s.observer(rec.ID))
+	if err != nil {
+		s.interruptRecord(rec, fmt.Sprintf("re-enqueue failed: %v", err))
+		return
+	}
+	jr := &jobRecord{
+		id:          rec.ID,
+		datasetName: rec.Dataset,
+		idemKey:     rec.IdempotencyKey,
+		script:      rec.Script,
+		submitted:   rec.SubmittedAt,
+		dataset:     d,
+		job:         job,
+		finalized:   make(chan struct{}),
+	}
+	s.jobs[jr.id] = jr
+	if jr.idemKey != "" {
+		s.idem[jr.idemKey] = jr
+	}
+	s.recovery.Requeued++
+	go s.finalizeJob(jr, func() {})
+}
+
+// Recovery reports what a durable server replayed at startup (zero value
+// for in-memory servers).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
+
+// observer is the per-job durability hook: the queue calls it on the
+// worker goroutine when the job starts running. (The done transition is
+// persisted by the finalizer, which also has the result and output hash.)
+func (s *Server) observer(id string) func(lucidscript.JobState) {
+	if s.store == nil {
+		return nil
+	}
+	return func(st lucidscript.JobState) {
+		if st == lucidscript.JobRunning {
+			_ = s.store.AppendRunning(id)
+		}
+	}
 }
 
 // Handler returns the service's routes. Mount it as an http.Server's (or
@@ -127,6 +294,7 @@ func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, err
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.instrument(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument(s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.handleGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument(s.handleCancel))
 	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
@@ -139,10 +307,11 @@ func (s *Server) Handler() http.Handler {
 // CodeShuttingDown. If ctx expires first, in-flight jobs are canceled and
 // complete with their partial-result-on-cancel semantics; Shutdown still
 // waits for them to land — including their finalizers (output hash) — so
-// every recorded job reads as terminal before this returns. Job status
-// stays readable afterward (until its retention window expires); closing
-// the HTTP listener is the caller's move (http.Server.Shutdown), made
-// after this returns.
+// every recorded job reads as terminal before this returns. On a durable
+// server the store is then compacted and closed, making the shutdown a
+// clean restart point. Job status stays readable afterward (until its
+// retention window expires); closing the HTTP listener is the caller's
+// move (http.Server.Shutdown), made after this returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -161,18 +330,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			<-rec.finalized
 		}
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.mu.RLock()
 		for _, rec := range s.jobs {
-			rec.job.Cancel()
+			if rec.job != nil {
+				rec.job.Cancel()
+			}
 		}
 		s.mu.RUnlock()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Draining reports whether Shutdown has begun.
@@ -186,7 +363,8 @@ func (s *Server) instrument(h func(http.ResponseWriter, *http.Request)) func(htt
 	}
 }
 
-// handleSubmit admits one job: parse, resolve the dataset, enqueue, 202.
+// handleSubmit admits one job: parse, resolve the dataset and idempotency
+// key, enqueue, persist, 202 — or replay the key's existing job with 200.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.writeUnavailable(w)
@@ -196,6 +374,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decoding request body: %v", err))
 		return
+	}
+	key := r.Header.Get("Idempotency-Key")
+	if req.IdempotencyKey != "" {
+		if key != "" && key != req.IdempotencyKey {
+			s.writeError(w, http.StatusConflict, CodeIdempotencyConflict,
+				fmt.Sprintf("Idempotency-Key header %q disagrees with body idempotency_key %q", key, req.IdempotencyKey))
+			return
+		}
+		key = req.IdempotencyKey
 	}
 	d, ok := s.datasets[req.Dataset]
 	if !ok {
@@ -212,57 +399,152 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	job, err := d.queue.Submit(ctx, sc)
-	if err != nil {
-		cancel()
+
+	// Admission, idempotency binding, and the durable submit record are
+	// one atomic step under mu: two racing submissions with the same key
+	// cannot both enqueue, and a Close-drain pass cannot interleave.
+	s.mu.Lock()
+	if key != "" {
+		if prior := s.idem[key]; prior != nil {
+			if prior.datasetName != req.Dataset || prior.script != req.Script {
+				s.mu.Unlock()
+				cancel()
+				s.writeError(w, http.StatusConflict, CodeIdempotencyConflict,
+					fmt.Sprintf("idempotency key %q is already bound to job %s with a different request", key, prior.id))
+				return
+			}
+			st := s.status(prior)
+			s.mu.Unlock()
+			cancel()
+			w.Header().Set("Idempotency-Replayed", "true")
+			s.writeJSON(w, http.StatusOK, st)
+			return
+		}
 	}
-	switch {
-	case errors.Is(err, lucidscript.ErrQueueFull):
-		s.writeError(w, http.StatusTooManyRequests, CodeQueueFull,
-			fmt.Sprintf("dataset %q queue is full", req.Dataset))
-		return
-	case errors.Is(err, lucidscript.ErrQueueClosed):
-		s.writeUnavailable(w)
-		return
-	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	seq := s.seq.Add(1)
+	id := fmt.Sprintf("j-%08d", seq)
+	now := time.Now().UTC()
+	if s.store != nil {
+		// The submit record lands in the WAL before the queue can possibly
+		// run the job, so a crash never leaves an executing job the log
+		// has no record of. A rejected admission evicts it right back.
+		err := s.store.AppendSubmit(&store.Record{
+			ID: id, Seq: seq, Dataset: req.Dataset, Script: req.Script,
+			IdempotencyKey: key, SubmittedAt: now,
+		})
+		if err != nil {
+			s.mu.Unlock()
+			cancel()
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Sprintf("persisting job: %v", err))
+			return
+		}
+	}
+	job, err := d.queue.SubmitObserved(ctx, sc, s.observer(id))
+	if err != nil {
+		if s.store != nil {
+			_ = s.store.AppendEvict(id)
+		}
+		s.mu.Unlock()
+		cancel()
+		switch {
+		case errors.Is(err, lucidscript.ErrQueueFull):
+			s.writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+				fmt.Sprintf("dataset %q queue is full", req.Dataset))
+		case errors.Is(err, lucidscript.ErrQueueClosed):
+			s.writeUnavailable(w)
+		default:
+			s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		}
 		return
 	}
 	rec := &jobRecord{
-		id:        fmt.Sprintf("j-%08d", s.seq.Add(1)),
-		dataset:   d,
-		job:       job,
-		submitted: time.Now().UTC(),
-		finalized: make(chan struct{}),
+		id:          id,
+		datasetName: d.name,
+		idemKey:     key,
+		script:      req.Script,
+		submitted:   now,
+		dataset:     d,
+		job:         job,
+		finalized:   make(chan struct{}),
 	}
-	s.mu.Lock()
 	s.jobs[rec.id] = rec
+	if key != "" {
+		s.idem[key] = rec
+	}
+	st := s.status(rec)
 	s.mu.Unlock()
 	go s.finalizeJob(rec, cancel)
-	s.writeJSON(w, http.StatusAccepted, s.status(rec))
+	s.writeJSON(w, http.StatusAccepted, st)
 }
 
 // finalizeJob is each job's completion path, run on a per-job goroutine:
 // it waits for the job to land, releases the per-job timeout context,
 // computes the output hash off the HTTP handlers (bounded by the
 // dataset's hashSem so completions cannot out-run the queue's admission
-// control), publishes the terminal fields by closing rec.finalized, and
-// schedules the record's eviction after the retention window.
+// control), persists the terminal record, publishes it by closing
+// rec.finalized, and schedules the record's eviction after the retention
+// window.
 func (s *Server) finalizeJob(rec *jobRecord, cancel context.CancelFunc) {
 	<-rec.job.Done()
 	cancel()
 	res, err := rec.job.Result()
+	var hash string
+	var hashErr error
 	if err == nil && res != nil {
 		rec.dataset.hashSem <- struct{}{}
-		rec.hash, rec.hashErr = rec.dataset.sys.OutputHash(res.Script)
+		hash, hashErr = rec.dataset.sys.OutputHash(res.Script)
 		<-rec.dataset.hashSem
 	}
-	rec.finished = time.Now().UTC()
+	now := time.Now().UTC()
+	st := &JobStatus{
+		ID:             rec.id,
+		Dataset:        rec.datasetName,
+		IdempotencyKey: rec.idemKey,
+		SubmittedAt:    rec.submitted,
+		FinishedAt:     &now,
+		Result:         toWireResult(res, hash),
+	}
+	if hashErr != nil && st.Result != nil {
+		st.Result.OutputHashError = hashErr.Error()
+	}
+	if err == nil {
+		st.State = StateDone
+	} else {
+		st.Error = err.Error()
+		st.Code = errorCode(err)
+		if st.Code == CodeCanceled {
+			st.State = StateCanceled
+		} else {
+			st.State = StateFailed
+		}
+	}
+	rec.terminal = st
+	if s.store != nil {
+		var raw json.RawMessage
+		if st.Result != nil {
+			raw, _ = json.Marshal(st.Result)
+		}
+		_ = s.store.AppendFinish(rec.id, st.State, st.Code, st.Error, raw, now)
+	}
 	close(rec.finalized)
-	time.AfterFunc(s.cfg.JobRetention, func() {
+	s.scheduleEviction(rec, s.cfg.JobRetention)
+}
+
+// scheduleEviction removes the job's record — memory and store — once its
+// retention window expires. The idempotency key is released only if it
+// still points at this record (a later job may have legitimately taken it
+// over after an interruption).
+func (s *Server) scheduleEviction(rec *jobRecord, after time.Duration) {
+	time.AfterFunc(after, func() {
 		s.mu.Lock()
 		delete(s.jobs, rec.id)
+		if rec.idemKey != "" && s.idem[rec.idemKey] == rec {
+			delete(s.idem, rec.idemKey)
+		}
 		s.mu.Unlock()
+		if s.store != nil {
+			_ = s.store.AppendEvict(rec.id) // ErrClosed after shutdown: fine
+		}
 	})
 }
 
@@ -304,27 +586,117 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
 		return
 	}
-	rec.job.Cancel()
+	if rec.job != nil {
+		rec.job.Cancel()
+	}
 	s.writeJSON(w, http.StatusOK, s.status(rec))
 }
 
-// handleHealthz reports liveness and per-dataset queue snapshots.
+// listLimits bound the page size of GET /v1/jobs.
+const (
+	defaultListLimit = 100
+	maxListLimit     = 1000
+)
+
+// handleList is GET /v1/jobs?state=&dataset=&limit=&cursor=: one page of
+// job statuses in id (submission) order. The cursor is the last returned
+// id; pages are stable against eviction and new submissions in the sense
+// that every job alive across the whole walk appears exactly once.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	stateFilter := q.Get("state")
+	if stateFilter != "" && !validState(stateFilter) {
+		s.writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("unknown state %q (want one of %v)", stateFilter, States))
+		return
+	}
+	datasetFilter := q.Get("dataset")
+	limit := defaultListLimit
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			s.writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("invalid limit %q: want a positive integer", ls))
+			return
+		}
+		limit = n
+		if limit > maxListLimit {
+			limit = maxListLimit
+		}
+	}
+	cursor := q.Get("cursor")
+
+	s.mu.RLock()
+	recs := make([]*jobRecord, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		recs = append(recs, rec)
+	}
+	s.mu.RUnlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+
+	resp := ListResponse{Jobs: []JobStatus{}}
+	for _, rec := range recs {
+		if cursor != "" && rec.id <= cursor {
+			continue
+		}
+		if datasetFilter != "" && rec.datasetName != datasetFilter {
+			continue
+		}
+		st := s.status(rec)
+		if stateFilter != "" && st.State != stateFilter {
+			continue
+		}
+		if len(resp.Jobs) == limit {
+			// One more match exists beyond the page: hand back a cursor.
+			resp.NextCursor = resp.Jobs[limit-1].ID
+			break
+		}
+		resp.Jobs = append(resp.Jobs, st)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// validState reports whether st names a wire job state.
+func validState(st string) bool {
+	for _, s := range States {
+		if s == st {
+			return true
+		}
+	}
+	return false
+}
+
+// handleHealthz reports readiness: per-dataset queue snapshots, aggregate
+// queued/running counts, the draining flag, and — on durable servers —
+// write-ahead-log lag.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{Status: "ok", Datasets: map[string]DatasetHealth{}}
 	if s.draining.Load() {
 		resp.Status = "draining"
+		resp.Draining = true
 	}
 	for name, d := range s.datasets {
 		st := d.queue.Stats()
+		resp.QueueDepth += st.Depth
+		resp.Running += st.Running
 		resp.Datasets[name] = DatasetHealth{
 			QueueDepth:    st.Depth,
 			QueueCapacity: st.Capacity,
 			Workers:       st.Workers,
+			Running:       st.Running,
 			Submitted:     st.Submitted,
 			Rejected:      st.Rejected,
 			Completed:     st.Completed,
 			Failed:        st.Failed,
 			CorpusScripts: d.sys.Stats().Scripts,
+		}
+	}
+	if s.store != nil {
+		lag := s.store.Lag()
+		resp.Store = &StoreHealth{
+			WALLagEntries: lag.Entries,
+			WALLagBytes:   lag.Bytes,
+			Compactions:   lag.Compactions,
+			Jobs:          s.store.Len(),
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -349,37 +721,45 @@ func (s *Server) lookup(id string) *jobRecord {
 // the finalizer has recorded the finish time and output hash, the job
 // reports queued/running.
 func (s *Server) status(rec *jobRecord) JobStatus {
-	st := JobStatus{
-		ID:          rec.id,
-		Dataset:     rec.dataset.name,
-		SubmittedAt: rec.submitted,
-	}
 	select {
 	case <-rec.finalized:
+		return *rec.terminal
 	default:
-		if rec.job.State() == lucidscript.JobRunning {
-			st.State = StateRunning
-		} else {
-			st.State = StateQueued
-		}
-		return st
 	}
-	res, err := rec.job.Result()
-	st.FinishedAt = &rec.finished
-	st.Result = toWireResult(res, rec.hash)
-	if rec.hashErr != nil && st.Result != nil {
-		st.Result.OutputHashError = rec.hashErr.Error()
+	st := JobStatus{
+		ID:             rec.id,
+		Dataset:        rec.datasetName,
+		IdempotencyKey: rec.idemKey,
+		SubmittedAt:    rec.submitted,
 	}
-	if err == nil {
-		st.State = StateDone
-		return st
-	}
-	st.Error = err.Error()
-	st.Code = errorCode(err)
-	if st.Code == CodeCanceled {
-		st.State = StateCanceled
+	if rec.job != nil && rec.job.State() == lucidscript.JobRunning {
+		st.State = StateRunning
 	} else {
-		st.State = StateFailed
+		st.State = StateQueued
+	}
+	return st
+}
+
+// statusFromRecord rebuilds a terminal wire status from its durable form.
+func statusFromRecord(rec *store.Record) *JobStatus {
+	st := &JobStatus{
+		ID:             rec.ID,
+		Dataset:        rec.Dataset,
+		State:          rec.State,
+		Code:           rec.Code,
+		Error:          rec.Error,
+		IdempotencyKey: rec.IdempotencyKey,
+		SubmittedAt:    rec.SubmittedAt,
+	}
+	if !rec.FinishedAt.IsZero() {
+		fin := rec.FinishedAt
+		st.FinishedAt = &fin
+	}
+	if len(rec.Result) > 0 {
+		var res JobResult
+		if err := json.Unmarshal(rec.Result, &res); err == nil {
+			st.Result = &res
+		}
 	}
 	return st
 }
@@ -409,15 +789,17 @@ func errorCode(err error) string {
 func (s *Server) writeUnavailable(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 	s.writeErrorBody(w, http.StatusServiceUnavailable, ErrorResponse{
-		Error:        "server is shutting down",
 		Code:         CodeShuttingDown,
+		Message:      "server is shutting down",
+		Retryable:    true,
 		RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
 	})
 }
 
-// writeError writes a non-2xx JSON error, attaching Retry-After on 429.
+// writeError writes a non-2xx JSON error in the uniform shape, deriving
+// the retryable bit from the code and attaching Retry-After on 429.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
-	resp := ErrorResponse{Error: msg, Code: code}
+	resp := ErrorResponse{Code: code, Message: msg, Retryable: retryableCode(code)}
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		resp.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
@@ -450,4 +832,12 @@ func retryAfterSeconds(d time.Duration) string {
 		secs = 1
 	}
 	return strconv.FormatInt(secs, 10)
+}
+
+// closedChan returns an already-closed channel for records that are born
+// terminal.
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
 }

@@ -1,0 +1,344 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// submitN appends n queued records j-00000001… and returns their ids.
+func submitN(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("j-%08d", i+1)
+		ids[i] = id
+		err := s.AppendSubmit(&Record{
+			ID: id, Seq: int64(i + 1), Dataset: "gen",
+			Script:         fmt.Sprintf("df = df.head(%d)\n", i),
+			IdempotencyKey: fmt.Sprintf("key-%d", i),
+			SubmittedAt:    time.Unix(int64(1000+i), 0).UTC(),
+		})
+		if err != nil {
+			t.Fatalf("AppendSubmit %d: %v", i, err)
+		}
+	}
+	return ids
+}
+
+// TestStoreRoundTrip is the basic durability contract: submit → running →
+// finish, close, reopen, and every field survives byte-for-byte.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitN(t, s, 3)
+	if err := s.AppendRunning(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	result := json.RawMessage(`{"script":"df\n","output_hash":"abc123"}`)
+	fin := time.Unix(2000, 0).UTC()
+	if err := s.AppendFinish(ids[0], StateDone, "", "", result, fin); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRunning(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := re.Records()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	if got := recs[0]; got.State != StateDone || string(got.Result) != string(result) ||
+		!got.FinishedAt.Equal(fin) || got.IdempotencyKey != "key-0" {
+		t.Errorf("record 0 after reopen = %+v", got)
+	}
+	if recs[1].State != StateRunning {
+		t.Errorf("record 1 state = %q, want running", recs[1].State)
+	}
+	if recs[2].State != StateQueued {
+		t.Errorf("record 2 state = %q, want queued", recs[2].State)
+	}
+	if recs[2].Script != "df = df.head(2)\n" {
+		t.Errorf("record 2 script = %q", recs[2].Script)
+	}
+	if got := re.MaxSeq(); got != 3 {
+		t.Errorf("MaxSeq = %d, want 3", got)
+	}
+}
+
+// TestStoreCrashRecovery reopens without Close — the SIGKILL shape — and
+// must still see every acknowledged append.
+func TestStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitN(t, s, 5)
+	if err := s.AppendFinish(ids[2], StateFailed, "deadline_exceeded", "too slow", nil, time.Unix(3000, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: drop the handle as a killed process would.
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := re.Records()
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+	if recs[2].State != StateFailed || recs[2].Code != "deadline_exceeded" || recs[2].Error != "too slow" {
+		t.Errorf("record 2 = %+v", recs[2])
+	}
+}
+
+// TestStoreSnapshotCompaction forces frequent compactions and checks the
+// WAL is truncated, the lag counters reset, and recovery reads through the
+// snapshot + residual WAL correctly.
+func TestStoreSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitN(t, s, 10) // crosses the cadence repeatedly
+	lag := s.Lag()
+	if lag.Compactions == 0 {
+		t.Fatalf("no compactions after 10 appends at cadence 4: %+v", lag)
+	}
+	if lag.Entries >= 4 {
+		t.Errorf("lag entries = %d, want < cadence 4", lag.Entries)
+	}
+	if err := s.AppendFinish(ids[9], StateDone, "", "", nil, time.Unix(4000, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-reopen: snapshot + whatever WAL remains must reconstruct all 10.
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Records()); got != 10 {
+		t.Fatalf("recovered %d records, want 10", got)
+	}
+	if re.Get(ids[9]).State != StateDone {
+		t.Errorf("last record state = %q, want done", re.Get(ids[9]).State)
+	}
+}
+
+// TestStoreEvict checks eviction removes the record durably while MaxSeq
+// keeps the sequence burned, across snapshot and crash boundaries.
+func TestStoreEvict(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitN(t, s, 3)
+	if err := s.AppendEvict(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Records()); got != 2 {
+		t.Fatalf("recovered %d records after evict, want 2", got)
+	}
+	if re.Get(ids[2]) != nil {
+		t.Error("evicted record still present")
+	}
+	if got := re.MaxSeq(); got != 3 {
+		t.Errorf("MaxSeq after evicting the high record = %d, want 3 (sequence stays burned)", got)
+	}
+}
+
+// TestStoreTornWrite truncates the WAL at every byte boundary inside the
+// final record: recovery must keep every whole record before the tear,
+// drop the torn tail, and leave the file truncated at the last good line.
+func TestStoreTornWrite(t *testing.T) {
+	build := func(t *testing.T, dir string) {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := submitN(t, s, 3)
+		if err := s.AppendFinish(ids[0], StateDone, "", "", json.RawMessage(`{"output_hash":"h"}`), time.Unix(5000, 0).UTC()); err != nil {
+			t.Fatal(err)
+		}
+		// Drop without Close so the WAL holds 4 entries and no snapshot.
+	}
+
+	ref := t.TempDir()
+	build(t, ref)
+	walRef, err := os.ReadFile(filepath.Join(ref, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	lastLineStart := 0
+	for i, b := range walRef {
+		if b == '\n' && i != len(walRef)-1 {
+			lines++
+			lastLineStart = i + 1
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("reference WAL has %d interior newlines, want 3 (4 entries)", lines)
+	}
+
+	for cut := lastLineStart; cut < len(walRef); cut++ {
+		dir := t.TempDir()
+		build(t, dir)
+		if err := os.Truncate(filepath.Join(dir, walFile), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		recs := s.Records()
+		if len(recs) != 3 {
+			t.Fatalf("cut %d: recovered %d records, want 3 (torn finish dropped)", cut, len(recs))
+		}
+		if recs[0].State != StateQueued {
+			t.Errorf("cut %d: record 0 state = %q, want queued (finish was torn)", cut, recs[0].State)
+		}
+		// The torn tail must be gone from disk: an immediate append and
+		// reopen replays cleanly.
+		if err := s.AppendRunning(recs[1].ID); err != nil {
+			t.Fatalf("cut %d: append after torn recovery: %v", cut, err)
+		}
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: second Open: %v", cut, err)
+		}
+		if got := s2.Get(recs[1].ID).State; got != StateRunning {
+			t.Errorf("cut %d: post-tear append lost: state %q", cut, got)
+		}
+		s.Close()
+		s2.Close()
+	}
+}
+
+// TestStoreGarbageTail flips bytes in the last line (same length, bad
+// checksum): recovery must reject it via the CRC, not parse luck.
+func TestStoreGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitN(t, s, 2)
+	path := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the last line's payload.
+	data[len(data)-5] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Records()); got != 1 {
+		t.Fatalf("recovered %d records, want 1 (corrupt line dropped)", got)
+	}
+}
+
+// TestStoreClosed pins the post-Close contract: appends fail with
+// ErrClosed, Close is idempotent.
+func TestStoreClosed(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.AppendEvict("j-00000001"); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestStoreConcurrentAppends hammers the store from many goroutines with a
+// tiny snapshot cadence, then verifies a reopen sees every record — the
+// WAL/compaction interleaving must lose nothing.
+func TestStoreConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("j-%03d-%03d", w, i)
+				r := &Record{ID: id, Seq: int64(w*per + i + 1), Dataset: "gen", Script: "df\n", SubmittedAt: time.Now().UTC()}
+				if err := s.AppendSubmit(r); err != nil {
+					errs <- err
+					return
+				}
+				if err := s.AppendFinish(id, StateDone, "", "", nil, time.Now().UTC()); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := re.Records()
+	if len(recs) != workers*per {
+		t.Fatalf("recovered %d records, want %d", len(recs), workers*per)
+	}
+	for _, r := range recs {
+		if r.State != StateDone {
+			t.Fatalf("record %s state = %q, want done", r.ID, r.State)
+		}
+	}
+	s.Close()
+}

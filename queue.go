@@ -75,7 +75,16 @@ func (s *System) NewJobQueue(workers, depth int) *JobQueue {
 // job is still queued completes the job with ErrCanceled without running
 // it.
 func (jq *JobQueue) Submit(ctx context.Context, sc *Script) (*QueuedJob, error) {
-	j, err := jq.q.Submit(ctx, sc)
+	return jq.SubmitObserved(ctx, sc, nil)
+}
+
+// SubmitObserved is Submit with a state-transition hook: observe is called
+// with JobRunning when a worker picks the job up and JobDone when it
+// finishes (after the outcome is recorded). A durable serving tier appends
+// each transition to its write-ahead log from here. observe runs on the
+// worker goroutine — keep it fast, and do not call back into the queue.
+func (jq *JobQueue) SubmitObserved(ctx context.Context, sc *Script, observe func(JobState)) (*QueuedJob, error) {
+	j, err := jq.q.SubmitObserved(ctx, sc, observe)
 	if err != nil {
 		return nil, err
 	}
