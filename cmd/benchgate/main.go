@@ -28,6 +28,7 @@ func main() {
 		report    = flag.String("report", "", "regress report JSON (from lsbench -exp regress -json)")
 		batchBase = flag.String("batch-baseline", "BENCH_batch.json", "committed batch baseline")
 		serveBase = flag.String("serve-baseline", "BENCH_serve.json", "committed serve baseline")
+		routeBase = flag.String("route-baseline", "BENCH_route.json", "committed route baseline")
 		warn      = flag.Float64("warn", 1.5, "warn when current/baseline wall-clock exceeds this ratio")
 		fail      = flag.Float64("fail", 2.0, "fail when current/baseline wall-clock exceeds this ratio")
 	)
@@ -53,8 +54,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
+	// The route baseline is newer than the other two; a missing file is
+	// tolerated (its comparisons just degrade to "no baseline record")
+	// so the gate keeps working on checkouts predating BENCH_route.json.
+	rb, err := bench.LoadRouteBaseline(*routeBase)
+	if err != nil && !os.IsNotExist(err) {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
 
-	findings := bench.Gate(rep, bb, sb, bench.GateConfig{WarnRatio: *warn, FailRatio: *fail})
+	findings := bench.Gate(rep, bb, sb, rb, bench.GateConfig{WarnRatio: *warn, FailRatio: *fail})
 	fmt.Println(bench.GateTable(findings).Render())
 	fails, _, line := bench.GateSummary(findings)
 	fmt.Println(line)

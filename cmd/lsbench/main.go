@@ -27,6 +27,7 @@ func main() {
 	// they depend on the facade (see bench.ServeRunner); link them into the
 	// registry here.
 	bench.ServeRunner = serveexp.Run
+	bench.RouteRunner = serveexp.Route
 	bench.RegressRunner = serveexp.Regress
 	var (
 		exp         = flag.String("exp", "all", "experiment id (e.g. table5, fig9) or 'all'")
@@ -45,6 +46,7 @@ func main() {
 		jsonPath    = flag.String("json", "", "also write machine-readable results (batch, serve, regress experiments) to this JSON file")
 		batchBase   = flag.String("batch-baseline", "", "committed batch baseline for the regress experiment (e.g. BENCH_batch.json)")
 		serveBase   = flag.String("serve-baseline", "", "committed serve baseline for the regress experiment (e.g. BENCH_serve.json)")
+		routeBase   = flag.String("route-baseline", "", "committed route baseline for the regress experiment (e.g. BENCH_route.json)")
 		gateWarn    = flag.Float64("gate-warn", 1.5, "regress gate: warn when current/baseline wall-clock exceeds this ratio")
 		gateFail    = flag.Float64("gate-fail", 2.0, "regress gate: fail when current/baseline wall-clock exceeds this ratio")
 		quiet       = flag.Bool("q", false, "suppress progress output")
@@ -76,6 +78,7 @@ func main() {
 		JSONPath:          *jsonPath,
 		BatchBaselinePath: *batchBase,
 		ServeBaselinePath: *serveBase,
+		RouteBaselinePath: *routeBase,
 		Gate:              bench.GateConfig{WarnRatio: *gateWarn, FailRatio: *gateFail},
 	}
 	if *maxCells > 0 || *maxSteps > 0 {

@@ -1,0 +1,113 @@
+// Command lsrouter fronts N lsserved replicas as one standardization
+// service: every dataset is consistent-hashed onto exactly one replica,
+// so each replica keeps a hot curated System, its SessionCache, its
+// idempotency-key table, and its write-ahead log for the shards it owns
+// (see internal/router and docs/API.md "Topology").
+//
+// Usage:
+//
+//	lsrouter -addr :8080 \
+//	    -replica r1=http://127.0.0.1:8081 \
+//	    -replica r2=http://127.0.0.1:8082 \
+//	    -replica r3=http://127.0.0.1:8083 \
+//	    [-probe-interval 500ms] [-rise 2] [-fall 2] \
+//	    [-shed-depth 0] [-retry-after 1s]
+//
+// The router speaks the same v1 API as a single lsserved: POST /v1/jobs
+// routes by the submission's dataset to the shard owner (idempotency
+// keys pass through untouched), GET/DELETE /v1/jobs/{id} route by the
+// replica prefix on the namespaced job id, and GET /v1/jobs fans out to
+// every replica and merges one page in id order. Replica readiness is
+// probed off GET /readyz with hysteresis; unready or draining replicas
+// are ejected from the ring and their shards fail over to the surviving
+// owners, with Retry-After-bearing 503s covering the detection window.
+// With -shed-depth the router additionally sheds submissions (429)
+// whose shard already reports that much queued work — a tier before the
+// replica's own 429.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lucidscript/internal/router"
+)
+
+type replicaList []router.Replica
+
+func (r *replicaList) String() string { return fmt.Sprint(*r) }
+
+func (r *replicaList) Set(v string) error {
+	name, base, ok := strings.Cut(v, "=")
+	if !ok || name == "" || base == "" {
+		return fmt.Errorf("bad -replica %q: want name=http://host:port", v)
+	}
+	*r = append(*r, router.Replica{Name: name, BaseURL: base})
+	return nil
+}
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		probeInterval = flag.Duration("probe-interval", 500*time.Millisecond, "readiness-probe cadence per replica")
+		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "per-probe round-trip budget")
+		rise          = flag.Int("rise", 2, "consecutive successful probes before a replica is admitted")
+		fall          = flag.Int("fall", 2, "consecutive failed probes before a replica is ejected")
+		shedDepth     = flag.Int("shed-depth", 0, "shed a shard's submissions (429) once its owner reports this queue depth (0 = off)")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on router-originated 429/503 responses")
+		replicas      replicaList
+	)
+	flag.Var(&replicas, "replica", "fronted replica spec: name=http://host:port (repeatable)")
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lsrouter -addr :8080 -replica r1=http://127.0.0.1:8081 [-replica ...]")
+		os.Exit(2)
+	}
+	rt, err := router.New(router.Config{
+		Replicas:      replicas,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		Rise:          *rise,
+		Fall:          *fall,
+		ShedDepth:     *shedDepth,
+		RetryAfter:    *retryAfter,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(context.Background())
+	defer rt.Stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lsrouter: listening on %s, fronting %d replicas\n", *addr, len(replicas))
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "lsrouter: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "lsrouter: http shutdown:", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsrouter:", err)
+	os.Exit(1)
+}

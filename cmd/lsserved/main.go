@@ -18,7 +18,10 @@
 //
 // Endpoints: POST /v1/jobs (idempotent via the Idempotency-Key header),
 // GET /v1/jobs (cursor-paginated listing), GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id}, GET /healthz, GET /metrics (Prometheus text).
+// DELETE /v1/jobs/{id}, GET /healthz (liveness: always 200 while the
+// process serves, including boot and drain), GET /readyz (readiness:
+// retryable 503 while curating at boot or draining — what lsrouter's
+// prober watches), GET /metrics (Prometheus text).
 // Overload returns 429 with a Retry-After header. SIGTERM/SIGINT drains
 // gracefully: in-flight jobs finish (up to -drain-timeout), queued jobs
 // fail with a clean shutting-down code, then the listener closes.
@@ -36,12 +39,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -102,6 +107,25 @@ func main() {
 			fmt.Sprintf("%s=%s,%s", name, *corpusDir, strings.Join(dataPaths, ",")))
 	}
 
+	// Bind the listener before the expensive startup work (curation, WAL
+	// replay) and serve the boot surface on it: GET /healthz answers 200
+	// "booting", GET /readyz and the API answer retryable 503 not_ready.
+	// A router's prober therefore sees a restarting replica as alive-but-
+	// unready instead of dead, and flips it ready the instant the real
+	// handler is swapped in below.
+	var handler atomic.Value // http.Handler
+	handler.Store(serve.BootHandler(*retryAfter))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "lsserved: listening on %s (booting)\n", *addr)
+
 	metrics := lucidscript.NewMetrics()
 	opts := lucidscript.Options{
 		SeqLength:        *seq,
@@ -161,13 +185,10 @@ func main() {
 			*dataDir, rec.Terminal, rec.Requeued, rec.Interrupted)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler.Store(srv.Handler())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "lsserved: listening on %s (%d datasets)\n", *addr, len(systems))
+	fmt.Fprintf(os.Stderr, "lsserved: ready on %s (%d datasets)\n", *addr, len(systems))
 
 	select {
 	case err := <-errCh:

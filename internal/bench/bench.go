@@ -52,11 +52,12 @@ type Options struct {
 	// (currently "batch", "serve", and "regress") also write a JSON record
 	// file there.
 	JSONPath string
-	// BatchBaselinePath / ServeBaselinePath point the "regress" experiment
-	// at committed baseline files; when either is set the fresh replay is
-	// gated against it (see GateConfig).
+	// BatchBaselinePath / ServeBaselinePath / RouteBaselinePath point the
+	// "regress" experiment at committed baseline files; when any is set
+	// the fresh replay is gated against it (see GateConfig).
 	BatchBaselinePath string
 	ServeBaselinePath string
+	RouteBaselinePath string
 	// Gate tunes the regression thresholds for the "regress" experiment.
 	Gate GateConfig
 	// Progress receives one line per unit of work when non-nil.

@@ -99,7 +99,7 @@ func TestHistogramAndSparkline(t *testing.T) {
 
 func TestRegistryLookup(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 15 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	for _, e := range exps {

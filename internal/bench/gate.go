@@ -30,12 +30,36 @@ type ServeResult struct {
 	Identical bool `json:"identical"`
 }
 
+// RouteResult is the JSON shape of one "route" experiment record: the same
+// jobs submitted through lsrouter fronting multiple lsserved replicas
+// versus a single directly-addressed replica. The gap is the routing tax —
+// the extra proxy hop, id namespacing, and ring lookup per request.
+type RouteResult struct {
+	Dataset  string `json:"dataset"`
+	Jobs     int    `json:"jobs"`
+	Replicas int    `json:"replicas"`
+	Workers  int    `json:"workers"`
+	// Reps is how many times each arm ran; the times below are the best rep.
+	Reps     int     `json:"reps"`
+	ServedMS float64 `json:"served_ms"`
+	RoutedMS float64 `json:"routed_ms"`
+	// OverheadPct is (routed - served) / served in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	// PerJobOverheadMS is the absolute routing tax amortized per job.
+	PerJobOverheadMS float64 `json:"per_job_overhead_ms"`
+	// Identical reports that every routed standardized script matched its
+	// single-replica counterpart byte for byte.
+	Identical bool `json:"identical"`
+}
+
 // RegressReport is the machine-readable output of the "regress" experiment:
-// a fresh replay of the batch and serve experiments, comparable against the
-// committed BENCH_batch.json / BENCH_serve.json baselines.
+// a fresh replay of the batch, serve, and route experiments, comparable
+// against the committed BENCH_batch.json / BENCH_serve.json /
+// BENCH_route.json baselines.
 type RegressReport struct {
 	Batch []BatchResult `json:"batch"`
 	Serve []ServeResult `json:"serve"`
+	Route []RouteResult `json:"route,omitempty"`
 }
 
 // GateConfig tunes the regression gate. Wall-clock comparisons across
@@ -106,7 +130,7 @@ func compareMS(exp, dataset, metric string, base, cur float64, cfg GateConfig) G
 // and returns one finding per (dataset, metric) pair. Datasets present in
 // only one side produce a warn-level note instead of a ratio; any
 // non-identical output in the report is an immediate fail.
-func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult, cfg GateConfig) []GateFinding {
+func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult, routeBase []RouteResult, cfg GateConfig) []GateFinding {
 	cfg = cfg.withDefaults()
 	var findings []GateFinding
 
@@ -156,6 +180,30 @@ func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult
 		findings = append(findings,
 			compareMS("serve", cur.Dataset, "direct_ms", base.DirectMS, cur.DirectMS, cfg),
 			compareMS("serve", cur.Dataset, "served_ms", base.ServedMS, cur.ServedMS, cfg))
+	}
+
+	routeByName := make(map[string]RouteResult, len(routeBase))
+	for _, r := range routeBase {
+		routeByName[r.Dataset] = r
+	}
+	for _, cur := range report.Route {
+		if !cur.Identical {
+			findings = append(findings, GateFinding{
+				Experiment: "route", Dataset: cur.Dataset, Metric: "identical",
+				Level: GateFail, Note: "routed output diverged from single-replica",
+			})
+		}
+		base, ok := routeByName[cur.Dataset]
+		if !ok {
+			findings = append(findings, GateFinding{
+				Experiment: "route", Dataset: cur.Dataset, Metric: "routed_ms",
+				CurrentMS: cur.RoutedMS, Level: GateWarn, Note: "no baseline record",
+			})
+			continue
+		}
+		findings = append(findings,
+			compareMS("route", cur.Dataset, "served_ms", base.ServedMS, cur.ServedMS, cfg),
+			compareMS("route", cur.Dataset, "routed_ms", base.RoutedMS, cur.RoutedMS, cfg))
 	}
 	return findings
 }
@@ -217,6 +265,15 @@ func LoadBatchBaseline(path string) ([]BatchResult, error) {
 // LoadServeBaseline reads a committed BENCH_serve.json.
 func LoadServeBaseline(path string) ([]ServeResult, error) {
 	var out []ServeResult
+	if err := readJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadRouteBaseline reads a committed BENCH_route.json.
+func LoadRouteBaseline(path string) ([]RouteResult, error) {
+	var out []RouteResult
 	if err := readJSON(path, &out); err != nil {
 		return nil, err
 	}

@@ -37,7 +37,7 @@ func findingFor(t *testing.T, fs []GateFinding, exp, dataset, metric string) Gat
 
 func TestGateLevels(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
-	fs := Gate(report, batchBase, serveBase, GateConfig{})
+	fs := Gate(report, batchBase, serveBase, nil, GateConfig{})
 
 	// a: unchanged → ok.
 	if f := findingFor(t, fs, "batch", "a", "batch_ms"); f.Level != GateOK {
@@ -70,7 +70,7 @@ func TestGateLevels(t *testing.T) {
 func TestGateNonIdenticalFails(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
 	report.Batch[0].Identical = false
-	fs := Gate(report, batchBase, serveBase, GateConfig{})
+	fs := Gate(report, batchBase, serveBase, nil, GateConfig{})
 	if f := findingFor(t, fs, "batch", "a", "identical"); f.Level != GateFail {
 		t.Fatalf("non-identical output should fail, got %+v", f)
 	}
@@ -79,7 +79,7 @@ func TestGateNonIdenticalFails(t *testing.T) {
 func TestGateMissingBaselineWarns(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
 	report.Serve = append(report.Serve, ServeResult{Dataset: "new", ServedMS: 10, Identical: true})
-	fs := Gate(report, batchBase, serveBase, GateConfig{})
+	fs := Gate(report, batchBase, serveBase, nil, GateConfig{})
 	f := findingFor(t, fs, "serve", "new", "served_ms")
 	if f.Level != GateWarn || f.Note == "" {
 		t.Fatalf("missing baseline should warn with a note, got %+v", f)
@@ -89,7 +89,7 @@ func TestGateMissingBaselineWarns(t *testing.T) {
 func TestGateConfigThresholds(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
 	// With a sky-high fail ratio nothing fails.
-	fs := Gate(report, batchBase, serveBase, GateConfig{WarnRatio: 10, FailRatio: 20})
+	fs := Gate(report, batchBase, serveBase, nil, GateConfig{WarnRatio: 10, FailRatio: 20})
 	if fails, _, _ := func() (int, int, string) { return GateSummary(fs) }(); fails != 0 {
 		t.Fatalf("generous thresholds should not fail, got %d", fails)
 	}

@@ -33,7 +33,8 @@ func Experiments() []Experiment {
 		{ID: "ablate", Paper: "(extra)", Description: "framework-component ablation (DESIGN.md)", Run: Ablate},
 		{ID: "batch", Paper: "(extra)", Description: "concurrent batch engine vs sequential standardization", Run: Batch},
 		{ID: "serve", Paper: "(extra)", Description: "HTTP standardization service vs direct library calls", Run: Serve},
-		{ID: "regress", Paper: "(extra)", Description: "perf-regression replay of batch+serve vs committed baselines", Run: Regress},
+		{ID: "route", Paper: "(extra)", Description: "lsrouter-fronted cluster vs a single directly-addressed replica", Run: Route},
+		{ID: "regress", Paper: "(extra)", Description: "perf-regression replay of batch+serve+route vs committed baselines", Run: Regress},
 	}
 }
 

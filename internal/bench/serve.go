@@ -19,6 +19,22 @@ func Serve(opts Options) (*Table, error) {
 	return ServeRunner(opts)
 }
 
+// RouteRunner is the implementation of the "route" experiment, installed by
+// cmd/lsbench from internal/bench/serveexp for the same import-cycle reason
+// as ServeRunner: the routed arm spins up real serve.Servers behind an
+// internal/router.Router, and both need the facade.
+var RouteRunner func(Options) (*Table, error)
+
+// Route measures what fronting the service with lsrouter costs relative to
+// addressing a single replica directly. See serveexp.Route for the
+// implementation.
+func Route(opts Options) (*Table, error) {
+	if RouteRunner == nil {
+		return nil, errors.New("bench: route experiment not linked in (install bench.RouteRunner, see internal/bench/serveexp)")
+	}
+	return RouteRunner(opts)
+}
+
 // RegressRunner is the implementation of the "regress" experiment, installed
 // by cmd/lsbench from internal/bench/serveexp for the same import-cycle
 // reason as ServeRunner: the regress replay includes the serve experiment,

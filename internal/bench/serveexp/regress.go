@@ -28,7 +28,12 @@ func Regress(opts bench.Options) (*bench.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: regress serve leg: %w", err)
 	}
-	report := bench.RegressReport{Batch: batchRecs, Serve: serveRecs}
+	opts.Logf("regress: replaying route experiment")
+	routeRecs, _, err := routeRecords(opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: regress route leg: %w", err)
+	}
+	report := bench.RegressReport{Batch: batchRecs, Serve: serveRecs, Route: routeRecs}
 
 	if opts.JSONPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -41,7 +46,7 @@ func Regress(opts bench.Options) (*bench.Table, error) {
 		opts.Logf("regress report written to %s", opts.JSONPath)
 	}
 
-	if opts.BatchBaselinePath == "" && opts.ServeBaselinePath == "" {
+	if opts.BatchBaselinePath == "" && opts.ServeBaselinePath == "" && opts.RouteBaselinePath == "" {
 		return replayTable(report), nil
 	}
 
@@ -57,7 +62,13 @@ func Regress(opts bench.Options) (*bench.Table, error) {
 			return nil, err
 		}
 	}
-	findings := bench.Gate(report, batchBase, serveBase, opts.Gate)
+	var routeBase []bench.RouteResult
+	if opts.RouteBaselinePath != "" {
+		if routeBase, err = bench.LoadRouteBaseline(opts.RouteBaselinePath); err != nil {
+			return nil, err
+		}
+	}
+	findings := bench.Gate(report, batchBase, serveBase, routeBase, opts.Gate)
 	fails, _, line := bench.GateSummary(findings)
 	opts.Logf("%s", line)
 	if fails > 0 {
@@ -89,6 +100,11 @@ func replayTable(report bench.RegressReport) *bench.Table {
 		t.Rows = append(t.Rows,
 			[]string{"serve", s.Dataset, "direct_ms", fmt.Sprintf("%.0f", s.DirectMS)},
 			[]string{"serve", s.Dataset, "served_ms", fmt.Sprintf("%.0f", s.ServedMS)})
+	}
+	for _, r := range report.Route {
+		t.Rows = append(t.Rows,
+			[]string{"route", r.Dataset, "served_ms", fmt.Sprintf("%.0f", r.ServedMS)},
+			[]string{"route", r.Dataset, "routed_ms", fmt.Sprintf("%.0f", r.RoutedMS)})
 	}
 	return t
 }

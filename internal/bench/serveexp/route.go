@@ -1,0 +1,217 @@
+package serveexp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/bench"
+	"lucidscript/internal/router"
+	"lucidscript/internal/serve"
+)
+
+// routeReplicas is the fronted cluster size of the "route" experiment —
+// the three-replica quickstart topology from the README.
+const routeReplicas = 3
+
+// Route measures what fronting the standardization service with lsrouter
+// costs relative to addressing a single replica directly: the same jobs
+// run through a serve.Server hit straight on (the "served" arm) and
+// through a router.Router fronting routeReplicas identically-curated
+// replicas (the "routed" arm). The gap is the routing tax — the extra
+// proxy hop, the ring lookup, and the job-id namespacing — and the
+// regression gate watches it via BENCH_route.json.
+func Route(opts bench.Options) (*bench.Table, error) {
+	records, table, err := routeRecords(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", opts.JSONPath, err)
+		}
+		opts.Logf("route results written to %s", opts.JSONPath)
+	}
+	return table, nil
+}
+
+// routeRecords runs the route experiment and returns the per-dataset
+// records alongside the rendered table, without touching Options.JSONPath.
+func routeRecords(opts bench.Options) ([]bench.RouteResult, *bench.Table, error) {
+	opts = opts.WithDefaults()
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	table := &bench.Table{
+		Title:  fmt.Sprintf("lsrouter-fronted cluster (%d replicas) vs a single directly-addressed replica", routeReplicas),
+		Header: []string{"dataset", "jobs", "replicas", "served", "routed", "overhead", "per-job"},
+	}
+	var records []bench.RouteResult
+	for _, name := range opts.Datasets {
+		gen, err := opts.GenerateDataset(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs := gen.Sample(opts.ScriptsPerDataset, opts.Seed+17)
+		lsOpts := lucidscript.Options{
+			Seed:             opts.Seed,
+			SeqLength:        opts.SeqLength,
+			BeamSize:         opts.BeamSize,
+			Measure:          lucidscript.IntentMeasure("jaccard"),
+			Tau:              0.8,
+			DisableExecCache: opts.DisableExecCache,
+			BatchWorkers:     workers,
+		}
+		newServer := func() (*serve.Server, *httptest.Server, error) {
+			sys, err := lucidscript.NewSystem(gen.ScriptsOnly(), gen.Sources, lsOpts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
+			}
+			srv, err := serve.NewServer(map[string]*lucidscript.System{name: sys},
+				serve.Config{Workers: workers, QueueDepth: len(jobs)})
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
+			}
+			return srv, httptest.NewServer(srv.Handler()), nil
+		}
+
+		// The served arm: one replica, addressed directly.
+		directSrv, directHS, err := newServer()
+		if err != nil {
+			return nil, nil, err
+		}
+		directClient := serve.NewClient(directHS.URL, directHS.Client())
+
+		// The routed arm: routeReplicas identical replicas behind a router.
+		// Every replica hosts the dataset, the ring picks the owner — the
+		// same topology lsrouter runs in production, minus the network.
+		var replicaSrvs []*serve.Server
+		var replicaHSs []*httptest.Server
+		var cfg router.Config
+		for i := 0; i < routeReplicas; i++ {
+			srv, hs, err := newServer()
+			if err != nil {
+				return nil, nil, err
+			}
+			replicaSrvs = append(replicaSrvs, srv)
+			replicaHSs = append(replicaHSs, hs)
+			cfg.Replicas = append(cfg.Replicas, router.Replica{
+				Name: fmt.Sprintf("r%d", i+1), BaseURL: hs.URL,
+			})
+		}
+		cfg.Rise, cfg.Fall = 1, 1
+		rt, err := router.New(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		ctx := context.Background()
+		rt.ProbeAll(ctx)
+		routerHS := httptest.NewServer(rt.Handler())
+		routedClient := serve.NewClient(routerHS.URL, routerHS.Client())
+
+		runArm := func(client *serve.Client, out []string) (time.Duration, error) {
+			runtime.GC()
+			start := time.Now()
+			ids := make([]string, len(jobs))
+			for i, su := range jobs {
+				st, err := client.Submit(ctx, name, su.Source(), nil)
+				if err != nil {
+					return 0, fmt.Errorf("bench: %s submit %d: %w", name, i, err)
+				}
+				ids[i] = st.ID
+			}
+			for i, id := range ids {
+				st, err := client.Wait(ctx, id, 2*time.Millisecond)
+				if err != nil {
+					return 0, fmt.Errorf("bench: %s wait %d: %w", name, i, err)
+				}
+				if st.State != serve.StateDone {
+					return 0, fmt.Errorf("bench: %s job %d: state %s (%s)", name, i, st.State, st.Error)
+				}
+				out[i] = st.Result.Script
+			}
+			return time.Since(start), nil
+		}
+
+		// Interleaved reps, best per arm — same protocol as the serve
+		// experiment, so the two overhead numbers compose.
+		const reps = 3
+		var servedDur, routedDur time.Duration
+		servedOut := make([]string, len(jobs))
+		routedOut := make([]string, len(jobs))
+		for r := 0; r < reps; r++ {
+			d, err := runArm(directClient, servedOut)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r == 0 || d < servedDur {
+				servedDur = d
+			}
+			d, err = runArm(routedClient, routedOut)
+			if err != nil {
+				return nil, nil, err
+			}
+			if r == 0 || d < routedDur {
+				routedDur = d
+			}
+		}
+		identical := true
+		for i := range servedOut {
+			if servedOut[i] != routedOut[i] {
+				identical = false
+				break
+			}
+		}
+
+		routerHS.Close()
+		directHS.Close()
+		if err := directSrv.Shutdown(ctx); err != nil {
+			return nil, nil, fmt.Errorf("bench: %s shutdown: %w", name, err)
+		}
+		for i, hs := range replicaHSs {
+			hs.Close()
+			if err := replicaSrvs[i].Shutdown(ctx); err != nil {
+				return nil, nil, fmt.Errorf("bench: %s replica shutdown: %w", name, err)
+			}
+		}
+		if !identical {
+			return nil, nil, fmt.Errorf("bench: %s routed output diverges from single-replica", name)
+		}
+
+		rec := bench.RouteResult{
+			Dataset:          name,
+			Jobs:             len(jobs),
+			Replicas:         routeReplicas,
+			Workers:          workers,
+			Reps:             reps,
+			ServedMS:         float64(servedDur.Microseconds()) / 1e3,
+			RoutedMS:         float64(routedDur.Microseconds()) / 1e3,
+			OverheadPct:      100 * (float64(routedDur) - float64(servedDur)) / float64(servedDur),
+			PerJobOverheadMS: float64((routedDur - servedDur).Microseconds()) / 1e3 / float64(len(jobs)),
+			Identical:        identical,
+		}
+		records = append(records, rec)
+		table.Rows = append(table.Rows, []string{
+			name,
+			fmt.Sprintf("%d", rec.Jobs),
+			fmt.Sprintf("%d", rec.Replicas),
+			fmt.Sprintf("%.0fms", rec.ServedMS),
+			fmt.Sprintf("%.0fms", rec.RoutedMS),
+			fmt.Sprintf("%.1f%%", rec.OverheadPct),
+			fmt.Sprintf("%.2fms", rec.PerJobOverheadMS),
+		})
+		opts.Logf("%s: %d jobs, served %s vs routed %s (+%.1f%%)",
+			name, rec.Jobs, servedDur.Round(time.Millisecond), routedDur.Round(time.Millisecond), rec.OverheadPct)
+	}
+	return records, table, nil
+}

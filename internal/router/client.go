@@ -1,0 +1,45 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"lucidscript/internal/serve"
+)
+
+// Client is the topology-blind face over serve.Client: point it at a
+// router or at a single replica — the wire API is identical — and submit
+// with idempotency keys under a retry policy tuned for failover windows.
+// Everything serve.Client offers (Job, Wait, Cancel, ListJobs, AllJobs,
+// Healthz, Readyz, ...) is promoted unchanged; Submit is the one method
+// this type reshapes, because against a multi-replica cluster a keyless
+// submission cannot be retried safely and a keyed one must outlast an
+// owner failover.
+type Client struct {
+	*serve.Client
+	// Policy drives Submit's backoff. The zero value resolves to a
+	// failover-sized policy: enough attempts, with server Retry-After
+	// hints honored, to ride out a replica ejection and shard
+	// reassignment (roughly 30s worst case).
+	Policy serve.RetryPolicy
+}
+
+// NewClient builds a router client for a cluster rooted at base. hc nil
+// uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	return &Client{
+		Client: serve.NewClient(base, hc),
+		Policy: serve.RetryPolicy{MaxAttempts: 16, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
+	}
+}
+
+// Submit enqueues one standardization under the client's retry policy.
+// key must be non-empty: it is what makes retrying across 503 failover
+// windows safe (a duplicate delivery replays the original job instead of
+// duplicating work) and what maps a post-crash retry onto the recovered
+// replica's ledger. The sticky routing guarantee — same dataset, same
+// replica — is the router's; the key guarantee is this method's.
+func (c *Client) Submit(ctx context.Context, dataset, scriptSrc string, opts *serve.JobOptions, key string) (*serve.JobStatus, error) {
+	return c.Client.SubmitRetry(ctx, dataset, scriptSrc, opts, key, c.Policy)
+}

@@ -1,0 +1,181 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lucidscript/internal/serve"
+)
+
+// replica is one fronted lsserved process: its address, a typed client,
+// and the prober's view of it. All mutable state sits behind mu.
+type replica struct {
+	name string
+	base string
+	cli  *serve.Client
+
+	mu         sync.Mutex
+	ready      bool
+	okStreak   int
+	failStreak int
+	lastErr    error
+	lastProbe  time.Time
+	health     *serve.HealthResponse
+}
+
+// ReplicaStatus is one replica's externally visible probe state, reported
+// by the router's own /healthz.
+type ReplicaStatus struct {
+	Name string `json:"name"`
+	Base string `json:"base"`
+	// Ready is the hysteresis verdict: true once Rise consecutive probes
+	// succeeded, false again after Fall consecutive failures.
+	Ready bool `json:"ready"`
+	// Error is the last probe failure ("" when the last probe succeeded).
+	Error string `json:"error,omitempty"`
+	// QueueDepth / Running are lifted from the replica's last healthz
+	// payload so shard-level shedding decisions are visible.
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// Datasets lists the shard snapshot the replica last reported.
+	Datasets map[string]serve.DatasetHealth `json:"datasets,omitempty"`
+}
+
+// probe runs one readiness check against the replica and applies
+// hysteresis: the replica becomes ready only after rise consecutive
+// successes and unready only after fall consecutive failures, so one
+// dropped packet neither ejects a healthy replica nor readmits a flapping
+// one. A successful probe also refreshes the replica's healthz snapshot —
+// queue depths feed the router's load shedding — tolerating a stale
+// snapshot when only the healthz call fails.
+func (rep *replica) probe(ctx context.Context, timeout time.Duration, rise, fall int) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	err := rep.cli.Readyz(pctx)
+	var health *serve.HealthResponse
+	if err == nil {
+		health, _ = rep.cli.Healthz(pctx)
+	}
+	cancel()
+
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.lastProbe = time.Now()
+	rep.lastErr = err
+	if health != nil {
+		rep.health = health
+	}
+	if err != nil {
+		rep.okStreak = 0
+		rep.failStreak++
+		if rep.failStreak >= fall {
+			rep.ready = false
+		}
+		return
+	}
+	rep.failStreak = 0
+	rep.okStreak++
+	if rep.okStreak >= rise {
+		rep.ready = true
+	}
+}
+
+// isReady reports the hysteresis verdict.
+func (rep *replica) isReady() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.ready
+}
+
+// snapshot returns the replica's externally visible state.
+func (rep *replica) snapshot() ReplicaStatus {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	st := ReplicaStatus{Name: rep.name, Base: rep.base, Ready: rep.ready}
+	if rep.lastErr != nil {
+		st.Error = rep.lastErr.Error()
+	}
+	if rep.health != nil {
+		st.QueueDepth = rep.health.QueueDepth
+		st.Running = rep.health.Running
+		st.Datasets = rep.health.Datasets
+	}
+	return st
+}
+
+// shardDepth returns the replica's last-reported queue depth for one
+// dataset, and false when no healthz snapshot mentions it.
+func (rep *replica) shardDepth(dataset string) (int, bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.health == nil {
+		return 0, false
+	}
+	d, ok := rep.health.Datasets[dataset]
+	return d.QueueDepth, ok
+}
+
+// markFailed records an in-band request failure (a proxied call that
+// could not reach the replica) as if a probe had failed, so ejection does
+// not wait for the next probe tick when traffic already knows.
+func (rep *replica) markFailed(err error, fall int) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.lastErr = err
+	rep.okStreak = 0
+	rep.failStreak++
+	if rep.failStreak >= fall {
+		rep.ready = false
+	}
+}
+
+// Start launches the background probe loop: every replica is probed once
+// immediately and then on the configured interval until Stop (or ctx
+// cancellation). Calling Start twice is a no-op.
+func (rt *Router) Start(ctx context.Context) {
+	rt.startOnce.Do(func() {
+		ctx, rt.stop = context.WithCancel(ctx)
+		for _, rep := range rt.replicas {
+			rep := rep
+			rt.wg.Add(1)
+			go func() {
+				defer rt.wg.Done()
+				rep.probe(ctx, rt.cfg.ProbeTimeout, rt.cfg.Rise, rt.cfg.Fall)
+				t := time.NewTicker(rt.cfg.ProbeInterval)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						rep.probe(ctx, rt.cfg.ProbeTimeout, rt.cfg.Rise, rt.cfg.Fall)
+					}
+				}
+			}()
+		}
+	})
+}
+
+// Stop halts the probe loops and waits for them to exit.
+func (rt *Router) Stop() {
+	if rt.stop != nil {
+		rt.stop()
+	}
+	rt.wg.Wait()
+}
+
+// ProbeAll probes every replica synchronously once — the deterministic
+// alternative to Start's background cadence, used by tests and by
+// cmd/lsrouter before announcing readiness.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		rep := rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep.probe(ctx, rt.cfg.ProbeTimeout, rt.cfg.Rise, rt.cfg.Fall)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,101 @@
+// Package router fronts N lsserved replicas as one standardization
+// service: every dataset is consistent-hashed onto exactly one replica
+// (its shard owner), so that replica's curated System, SessionCache,
+// idempotency-key table, and write-ahead log keep working unmodified —
+// the router adds scale without touching the single-node durability
+// story. Replica readiness is probed off GET /readyz with hysteresis;
+// unready or draining replicas are ejected from the ring and their
+// shards fail over to the surviving owners, with Retry-After-bearing
+// 503s covering the detection window. See docs/API.md "Topology".
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring assigns shard keys (dataset names) to members (replica names) by
+// rendezvous — highest-random-weight — hashing. The properties the
+// multi-node tier needs are exactly rendezvous hashing's:
+//
+//   - Stable: the same member set always yields the same owner for a key.
+//   - Bounded movement: removing a member remigrates only the shards it
+//     owned; adding one moves only the shards the newcomer now wins.
+//     Every other (key, owner) pair is untouched, so idempotency keys and
+//     WAL recovery stay valid on the replicas that did not change.
+//   - Single ownership: a key hashes to exactly one member, never two.
+//
+// The zero value is an empty ring. Ring is a value type: Owner is
+// read-only, and membership changes build the candidate set per call, so
+// a Ring can be rebuilt from a ready-replica snapshot on every request
+// without synchronization beyond the snapshot itself.
+type Ring struct {
+	members []string
+}
+
+// NewRing builds a ring over the given members. Duplicates are collapsed
+// and order is irrelevant — two rings over the same set behave
+// identically.
+func NewRing(members []string) Ring {
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	return Ring{members: uniq}
+}
+
+// Members returns the member set in sorted order. The slice is shared;
+// callers must not mutate it.
+func (r Ring) Members() []string { return r.members }
+
+// Len reports the member count.
+func (r Ring) Len() int { return len(r.members) }
+
+// Owner returns the member that owns key, and false when the ring is
+// empty. Ties (astronomically unlikely with a 64-bit hash) break toward
+// the lexicographically smaller member so the answer stays deterministic.
+func (r Ring) Owner(key string) (string, bool) {
+	if len(r.members) == 0 {
+		return "", false
+	}
+	best := r.members[0]
+	bestW := weight(best, key)
+	for _, m := range r.members[1:] {
+		if w := weight(m, key); w > bestW || (w == bestW && m < best) {
+			best, bestW = m, w
+		}
+	}
+	return best, true
+}
+
+// weight is the rendezvous score of (member, key): FNV-64a over the two
+// strings with a NUL fence so ("ab","c") and ("a","bc") cannot collide,
+// then a splitmix64 finalizer. The finalizer is load-bearing: raw FNV is
+// nearly affine in its running state (h' ≈ h·p^n + C(suffix) mod 2^64 for
+// an n-byte suffix), so without it the ranking of members is strongly
+// correlated across same-length keys and a joining member can win almost
+// no shards. The avalanche mix breaks that correlation.
+func weight(member, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.): a 64-bit bijection
+// with full avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

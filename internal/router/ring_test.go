@@ -1,0 +1,212 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// names generates n distinct member names.
+func memberNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replica-%02d", i)
+	}
+	return out
+}
+
+// shardKeys generates n distinct dataset names.
+func shardKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dataset-%03d", i)
+	}
+	return out
+}
+
+// TestRingStableAssignment: the same member set — in any insertion
+// order, duplicates included — yields the same owner for every key, on
+// every call.
+func TestRingStableAssignment(t *testing.T) {
+	members := memberNames(7)
+	keys := shardKeys(200)
+	base := NewRing(members)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		shuffled = append(shuffled, members[trial%len(members)]) // duplicate
+		r := NewRing(shuffled)
+		for _, k := range keys {
+			want, okW := base.Owner(k)
+			got, okG := r.Owner(k)
+			got2, _ := r.Owner(k)
+			if !okW || !okG || got != want || got2 != got {
+				t.Fatalf("trial %d key %s: owner %q/%v vs base %q/%v", trial, k, got, okG, want, okW)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing one member remigrates exactly
+// the keys it owned — every other assignment is untouched.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	members := memberNames(6)
+	keys := shardKeys(300)
+	full := NewRing(members)
+	for _, leaving := range members {
+		var rest []string
+		for _, m := range members {
+			if m != leaving {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := NewRing(rest)
+		moved := 0
+		for _, k := range keys {
+			before, _ := full.Owner(k)
+			after, ok := shrunk.Owner(k)
+			if !ok {
+				t.Fatalf("no owner for %s after removing %s", k, leaving)
+			}
+			if before == leaving {
+				moved++
+				if after == leaving {
+					t.Fatalf("key %s still assigned to departed member %s", k, leaving)
+				}
+				continue
+			}
+			if after != before {
+				t.Fatalf("removing %s moved key %s from %s to %s (not the departed member's shard)",
+					leaving, k, before, after)
+			}
+		}
+		t.Logf("removing %s moved %d/%d keys", leaving, moved, len(keys))
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a member moves only the keys the
+// newcomer wins, and they all move to it.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	members := memberNames(5)
+	keys := shardKeys(300)
+	base := NewRing(members)
+	joiner := "replica-new"
+	grown := NewRing(append(append([]string(nil), members...), joiner))
+	moved := 0
+	for _, k := range keys {
+		before, _ := base.Owner(k)
+		after, _ := grown.Owner(k)
+		if after == before {
+			continue
+		}
+		moved++
+		if after != joiner {
+			t.Fatalf("join of %s moved key %s from %s to %s (only the joiner may win keys)",
+				joiner, k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("joiner won zero keys out of 300 — hash distribution is broken")
+	}
+	t.Logf("join moved %d/%d keys to %s", moved, len(keys), joiner)
+}
+
+// TestRingBalance sanity-checks the distribution: over 3 members and 600
+// keys every member should own a non-trivial share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(memberNames(3))
+	counts := map[string]int{}
+	for _, k := range shardKeys(600) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	for m, c := range counts {
+		if c < 100 {
+			t.Errorf("member %s owns only %d/600 keys", m, c)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle pins the edges: the empty ring owns nothing; a
+// single member owns everything.
+func TestRingEmptyAndSingle(t *testing.T) {
+	var empty Ring
+	if _, ok := empty.Owner("x"); ok {
+		t.Error("empty ring claims an owner")
+	}
+	if _, ok := NewRing(nil).Owner("x"); ok {
+		t.Error("NewRing(nil) claims an owner")
+	}
+	solo := NewRing([]string{"only"})
+	for _, k := range shardKeys(20) {
+		if o, ok := solo.Owner(k); !ok || o != "only" {
+			t.Fatalf("single-member ring assigned %s to %q/%v", k, o, ok)
+		}
+	}
+}
+
+// FuzzRingChurn drives a fuzzed sequence of joins and leaves over a
+// member pool and checks the ring's contract after every step: a key is
+// never double-assigned (the owner function is deterministic and names a
+// current member), and each membership change moves only the shards the
+// contract allows — a leave moves only the departed member's keys, a
+// join moves keys only onto the joiner.
+func FuzzRingChurn(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{9, 9, 9, 0, 0, 0, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		pool := memberNames(8)
+		keys := shardKeys(64)
+		present := map[string]bool{}
+		current := func() Ring {
+			var ms []string
+			for m, in := range present {
+				if in {
+					ms = append(ms, m)
+				}
+			}
+			return NewRing(ms)
+		}
+		prev := current()
+		prevOwner := map[string]string{}
+		for _, op := range ops {
+			m := pool[int(op)%len(pool)]
+			joining := !present[m]
+			present[m] = joining
+			r := current()
+			for _, k := range keys {
+				o1, ok1 := r.Owner(k)
+				o2, ok2 := r.Owner(k)
+				if ok1 != ok2 || o1 != o2 {
+					t.Fatalf("non-deterministic owner for %s: %q/%v vs %q/%v", k, o1, ok1, o2, ok2)
+				}
+				if !ok1 {
+					if r.Len() != 0 {
+						t.Fatalf("no owner for %s despite %d members", k, r.Len())
+					}
+					continue
+				}
+				if !present[o1] {
+					t.Fatalf("key %s assigned to absent member %s", k, o1)
+				}
+				if po, had := prevOwner[k]; had && prev.Len() > 0 && o1 != po {
+					// The key moved: legal only if its old owner left or
+					// the move is onto a joiner.
+					if joining && o1 != m {
+						t.Fatalf("join of %s moved key %s from %s to %s", m, k, po, o1)
+					}
+					if !joining && po != m {
+						t.Fatalf("leave of %s moved key %s from %s to %s", m, k, po, o1)
+					}
+				}
+				prevOwner[k] = o1
+			}
+			if r.Len() == 0 {
+				prevOwner = map[string]string{}
+			}
+			prev = r
+		}
+	})
+}

@@ -1,0 +1,545 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/gen"
+	"lucidscript/internal/serve"
+)
+
+// clusterOptions is the fast-search option set the router tests build
+// their replica Systems with — identical to the serve test suite's, so
+// routed results can be compared against direct in-process runs.
+func clusterOptions() lucidscript.Options {
+	return lucidscript.Options{Tau: 0.9, SeqLength: 4, BeamSize: 3, MaxRows: 80}
+}
+
+// clusterSystem builds one dataset's System from the seeded generative
+// corpus; the same seed on every replica yields identical curation, which
+// is what makes any shard placement produce identical results.
+func clusterSystem(t testing.TB, seed int64) *lucidscript.System {
+	t.Helper()
+	g := gen.New(seed)
+	sys, err := lucidscript.NewSystem(g.Scripts(8), g.Sources(120), clusterOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// cluster is an in-process router deployment: n real serve.Servers on
+// httptest listeners, each hosting every dataset, fronted by one Router.
+type cluster struct {
+	rt       *Router
+	client   *Client
+	servers  []*httptest.Server // replica listeners, index i = replica name ri
+	names    []string
+	routerHS *httptest.Server
+}
+
+// startCluster builds the deployment. datasets maps dataset name → corpus
+// seed; every replica hosts all of them. cfg's Replicas/HTTPClient are
+// filled in here; Rise/Fall default to 1 for deterministic single-probe
+// tests unless the caller sets them.
+func startCluster(t *testing.T, n int, datasets map[string]int64, cfg Config) *cluster {
+	t.Helper()
+	c := &cluster{}
+	for i := 0; i < n; i++ {
+		systems := map[string]*lucidscript.System{}
+		for ds, seed := range datasets {
+			systems[ds] = clusterSystem(t, seed)
+		}
+		srv, err := serve.NewServer(systems, serve.Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(hs.Close)
+		name := fmt.Sprintf("r%d", i+1)
+		c.servers = append(c.servers, hs)
+		c.names = append(c.names, name)
+		cfg.Replicas = append(cfg.Replicas, Replica{Name: name, BaseURL: hs.URL})
+	}
+	if cfg.Rise == 0 {
+		cfg.Rise = 1
+	}
+	if cfg.Fall == 0 {
+		cfg.Fall = 1
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rt = rt
+	c.routerHS = httptest.NewServer(rt.Handler())
+	t.Cleanup(c.routerHS.Close)
+	c.client = NewClient(c.routerHS.URL, nil)
+	return c
+}
+
+// TestRouterStickyRoutingAndResult is the tentpole e2e: submissions route
+// by dataset to one stable owner, job ids come back namespaced, polling
+// and waiting work through the router, and the routed result — script and
+// output hash — is byte-identical to a direct in-process run on an
+// identically-curated System. Idempotent replay through the router
+// returns the original namespaced job.
+func TestRouterStickyRoutingAndResult(t *testing.T) {
+	datasets := map[string]int64{"alpha": 42, "beta": 1042}
+	c := startCluster(t, 2, datasets, Config{})
+	c.rt.ProbeAll(context.Background())
+	ctx := context.Background()
+
+	for ds, seed := range datasets {
+		owner, ok := c.rt.Owner(ds)
+		if !ok {
+			t.Fatalf("no owner for %s with both replicas ready", ds)
+		}
+		direct := clusterSystem(t, seed)
+		for i, su := range gen.New(7).Scripts(2) {
+			want, err := direct.Standardize(su)
+			if err != nil {
+				t.Fatalf("direct %s/%d: %v", ds, i, err)
+			}
+			wantHash, err := direct.OutputHash(want.Script)
+			if err != nil {
+				t.Fatalf("direct hash %s/%d: %v", ds, i, err)
+			}
+
+			key := fmt.Sprintf("sticky-%s-%d", ds, i)
+			sub, err := c.client.Submit(ctx, ds, su.Source(), nil, key)
+			if err != nil {
+				t.Fatalf("Submit %s/%d: %v", ds, i, err)
+			}
+			prefix, _, ok := splitJobID(sub.ID)
+			if !ok || prefix != owner {
+				t.Fatalf("job %q not namespaced to owner %q", sub.ID, owner)
+			}
+
+			st, err := c.client.Wait(ctx, sub.ID, 5*time.Millisecond)
+			if err != nil {
+				t.Fatalf("Wait %s: %v", sub.ID, err)
+			}
+			if st.State != serve.StateDone || st.Result == nil {
+				t.Fatalf("job %s finished %s (%s): %s", st.ID, st.State, st.Code, st.Error)
+			}
+			if st.Result.Script != want.Script.Source() {
+				t.Errorf("routed script differs from direct run for %s/%d", ds, i)
+			}
+			if st.Result.OutputHash != wantHash {
+				t.Errorf("routed output hash %q != direct %q", st.Result.OutputHash, wantHash)
+			}
+
+			replay, err := c.client.Submit(ctx, ds, su.Source(), nil, key)
+			if err != nil {
+				t.Fatalf("replay %s: %v", key, err)
+			}
+			if replay.ID != sub.ID {
+				t.Errorf("idempotent replay returned %q, want original %q", replay.ID, sub.ID)
+			}
+		}
+	}
+}
+
+// TestRouterJobRoutingEdges pins the prefix-routing contract: ids with an
+// unknown replica prefix or no prefix at all are 404s, and DELETE routes
+// by prefix like GET does.
+func TestRouterJobRoutingEdges(t *testing.T) {
+	c := startCluster(t, 2, map[string]int64{"alpha": 42}, Config{})
+	c.rt.ProbeAll(context.Background())
+	ctx := context.Background()
+
+	for _, id := range []string{"zz.j-00000001", "j-00000001", "r1."} {
+		_, err := c.client.Job(ctx, id)
+		if !errors.Is(err, serve.ErrNotFound) {
+			t.Errorf("Job(%q) = %v, want ErrNotFound", id, err)
+		}
+	}
+
+	sub, err := c.client.Submit(ctx, "alpha", gen.New(9).ScriptSource(), nil, "edge-cancel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.client.Cancel(ctx, sub.ID)
+	if err != nil {
+		t.Fatalf("Cancel(%s): %v", sub.ID, err)
+	}
+	if st.ID != sub.ID {
+		t.Errorf("cancel status id %q, want %q", st.ID, sub.ID)
+	}
+	final, err := c.client.Wait(ctx, sub.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serve.TerminalState(final.State) {
+		t.Errorf("canceled job landed in non-terminal state %q", final.State)
+	}
+}
+
+// TestRouterListMergePagination: the fan-out listing merges every
+// replica's jobs in namespaced-id order, pages with the single-node
+// cursor contract, honors dataset/state filters, and rejects bad
+// parameters like a single replica would.
+func TestRouterListMergePagination(t *testing.T) {
+	datasets := map[string]int64{"alpha": 42, "beta": 1042, "gamma": 2042}
+	c := startCluster(t, 3, datasets, Config{})
+	c.rt.ProbeAll(context.Background())
+	ctx := context.Background()
+
+	var ids []string
+	perDataset := map[string]int{}
+	for ds := range datasets {
+		for i := 0; i < 3; i++ {
+			sub, err := c.client.Submit(ctx, ds, gen.New(int64(100+i)).ScriptSource(), nil,
+				fmt.Sprintf("list-%s-%d", ds, i))
+			if err != nil {
+				t.Fatalf("Submit %s/%d: %v", ds, i, err)
+			}
+			ids = append(ids, sub.ID)
+			perDataset[ds]++
+		}
+	}
+	for _, id := range ids {
+		if _, err := c.client.Wait(ctx, id, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Walk with a tiny page size: every job appears exactly once, sorted.
+	var walked []string
+	q := serve.ListJobsQuery{Limit: 2}
+	for {
+		page, err := c.client.ListJobs(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Jobs) > 2 {
+			t.Fatalf("page of %d jobs exceeds limit 2", len(page.Jobs))
+		}
+		for _, st := range page.Jobs {
+			walked = append(walked, st.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	if len(walked) != len(ids) {
+		t.Fatalf("walked %d jobs, submitted %d", len(walked), len(ids))
+	}
+	seen := map[string]bool{}
+	for i, id := range walked {
+		if i > 0 && walked[i-1] >= id {
+			t.Fatalf("merged listing out of order: %q before %q", walked[i-1], id)
+		}
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("job %s missing from merged listing", id)
+		}
+	}
+
+	// Dataset filter crosses shards transparently.
+	alpha, err := c.client.AllJobs(ctx, serve.ListJobsQuery{Dataset: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alpha) != perDataset["alpha"] {
+		t.Errorf("dataset=alpha returned %d jobs, want %d", len(alpha), perDataset["alpha"])
+	}
+	for _, st := range alpha {
+		if st.Dataset != "alpha" {
+			t.Errorf("dataset filter leaked job %s from %q", st.ID, st.Dataset)
+		}
+	}
+
+	// State filter and bad parameters behave like a single replica.
+	done, err := c.client.AllJobs(ctx, serve.ListJobsQuery{State: serve.StateDone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) == 0 {
+		t.Error("state=done returned nothing after all jobs finished")
+	}
+	if _, err := c.client.ListJobs(ctx, serve.ListJobsQuery{State: "bogus"}); !errors.Is(err, serve.ErrBadRequest) {
+		t.Errorf("state=bogus: %v, want ErrBadRequest", err)
+	}
+	resp, err := http.Get(c.routerHS.URL + "/v1/jobs?limit=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("limit=-3: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRouterFailover: killing a shard's owner yields a retryable 503 with
+// a Retry-After hint while the failure is detected, after which the ring
+// reassigns the shard to a survivor and submissions flow again — and the
+// RouterClient's retry policy rides the whole window out on its own.
+func TestRouterFailover(t *testing.T) {
+	c := startCluster(t, 2, map[string]int64{"alpha": 42}, Config{})
+	c.rt.ProbeAll(context.Background())
+	ctx := context.Background()
+
+	owner, ok := c.rt.Owner("alpha")
+	if !ok {
+		t.Fatal("no owner for alpha")
+	}
+	var survivor string
+	for i, name := range c.names {
+		if name == owner {
+			c.servers[i].Close() // SIGKILL stand-in: connections refused from now on
+		} else {
+			survivor = name
+		}
+	}
+
+	// A raw (no-retry) submit inside the detection window: retryable 503,
+	// no_replica, Retry-After set. The in-band failure also ejects the
+	// owner (Fall=1), so the ring has already failed the shard over.
+	_, err := c.client.SubmitIdempotent(ctx, "alpha", gen.New(11).ScriptSource(), nil, "fo-window")
+	if err == nil {
+		t.Fatal("submit to a dead owner succeeded without failover")
+	}
+	if !serve.Retryable(err) {
+		t.Fatalf("detection-window error not retryable: %v", err)
+	}
+	var ae *serve.APIError
+	if !errors.As(err, &ae) || ae.Code != serve.CodeNoReplica || ae.RetryAfter <= 0 {
+		t.Fatalf("detection-window error = %+v, want no_replica with Retry-After", ae)
+	}
+
+	if got, _ := c.rt.Owner("alpha"); got != survivor {
+		t.Fatalf("after ejection alpha is owned by %q, want survivor %q", got, survivor)
+	}
+
+	// The RouterClient retries through the same shape by itself.
+	sub, err := c.client.Submit(ctx, "alpha", gen.New(11).ScriptSource(), nil, "fo-retry")
+	if err != nil {
+		t.Fatalf("post-failover submit: %v", err)
+	}
+	if prefix, _, _ := splitJobID(sub.ID); prefix != survivor {
+		t.Fatalf("post-failover job %q not on survivor %q", sub.ID, survivor)
+	}
+	if st, err := c.client.Wait(ctx, sub.ID, 5*time.Millisecond); err != nil || st.State != serve.StateDone {
+		t.Fatalf("post-failover job: %v / %+v", err, st)
+	}
+}
+
+// fakeReplica is a scripted lsserved stand-in for prober and shedding
+// tests: readiness can be toggled and the reported shard queue depth set.
+type fakeReplica struct {
+	mu      sync.Mutex
+	failing bool
+	depth   int
+}
+
+func (f *fakeReplica) setFailing(v bool) { f.mu.Lock(); f.failing = v; f.mu.Unlock() }
+func (f *fakeReplica) setDepth(d int)    { f.mu.Lock(); f.depth = d; f.mu.Unlock() }
+
+func (f *fakeReplica) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		failing := f.failing
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if failing {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Code: serve.CodeShuttingDown, Retryable: true})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.ReadyResponse{Status: "ready"})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		depth := f.depth
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.HealthResponse{
+			Status:     "ok",
+			QueueDepth: depth,
+			Datasets:   map[string]serve.DatasetHealth{"alpha": {QueueDepth: depth}},
+		})
+	})
+	return mux
+}
+
+// TestProberHysteresis: a replica is admitted only after Rise consecutive
+// probe successes and ejected only after Fall consecutive failures — one
+// blip in either direction changes nothing.
+func TestProberHysteresis(t *testing.T) {
+	fake := &fakeReplica{}
+	hs := httptest.NewServer(fake.handler())
+	defer hs.Close()
+	rt, err := New(Config{
+		Replicas: []Replica{{Name: "r1", BaseURL: hs.URL}},
+		Rise:     2, Fall: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	step := func(failing bool, wantReady bool, note string) {
+		t.Helper()
+		fake.setFailing(failing)
+		rt.ProbeAll(ctx)
+		if got := rt.replicas["r1"].isReady(); got != wantReady {
+			t.Fatalf("%s: ready=%v, want %v", note, got, wantReady)
+		}
+	}
+	step(false, false, "one success (rise=2) must not admit")
+	step(false, true, "second success admits")
+	step(true, true, "one failure (fall=2) must not eject")
+	step(true, false, "second failure ejects")
+	step(false, false, "one success after ejection must not readmit")
+	step(false, true, "second success readmits")
+}
+
+// TestRouterShed: once the shard owner's last-reported queue depth
+// reaches ShedDepth, the router sheds the submission with a retryable
+// 429 router_shed before the replica ever sees it.
+func TestRouterShed(t *testing.T) {
+	fake := &fakeReplica{}
+	hs := httptest.NewServer(fake.handler())
+	defer hs.Close()
+	rt, err := New(Config{
+		Replicas: []Replica{{Name: "r1", BaseURL: hs.URL}},
+		Rise:     1, Fall: 1,
+		ShedDepth: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake.setDepth(5)
+	rt.ProbeAll(context.Background())
+
+	routerHS := httptest.NewServer(rt.Handler())
+	defer routerHS.Close()
+	cli := serve.NewClient(routerHS.URL, nil)
+
+	_, err = cli.SubmitIdempotent(context.Background(), "alpha", "x = read_csv(\"gen.csv\")", nil, "shed-1")
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("saturated shard submit = %v, want ErrOverloaded", err)
+	}
+	var ae *serve.APIError
+	if !errors.As(err, &ae) || ae.Code != serve.CodeRouterShed || !ae.Retryable || ae.RetryAfter <= 0 {
+		t.Fatalf("shed error = %+v, want retryable router_shed with Retry-After", ae)
+	}
+
+	// Under the threshold the submission passes through to the replica
+	// (which, being fake, 404s the unknown route — proving the router
+	// stopped shedding, not that the replica accepted).
+	fake.setDepth(4)
+	rt.ProbeAll(context.Background())
+	_, err = cli.SubmitIdempotent(context.Background(), "alpha", "x = read_csv(\"gen.csv\")", nil, "shed-2")
+	if errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("under-threshold submit still shed: %v", err)
+	}
+}
+
+// TestRouterHealthzReadyz: /readyz flips 503→200 with ring membership,
+// /healthz is always 200 and reports per-replica probe state plus the
+// shard→owner map.
+func TestRouterHealthzReadyz(t *testing.T) {
+	c := startCluster(t, 2, map[string]int64{"alpha": 42}, Config{})
+	ctx := context.Background()
+
+	// Before any probe: nothing is ready.
+	err := c.client.Readyz(ctx)
+	if !errors.Is(err, serve.ErrDraining) {
+		t.Fatalf("pre-probe Readyz = %v, want 503", err)
+	}
+	var ae *serve.APIError
+	if !errors.As(err, &ae) || ae.Code != serve.CodeNoReplica || !ae.Retryable {
+		t.Fatalf("pre-probe readyz error = %+v, want retryable no_replica", ae)
+	}
+	h := routerHealth(t, c.routerHS.URL)
+	if h.Status != "unavailable" || h.ReadyReplicas != 0 {
+		t.Fatalf("pre-probe health = %+v, want unavailable/0", h)
+	}
+
+	c.rt.ProbeAll(ctx)
+	if err := c.client.Readyz(ctx); err != nil {
+		t.Fatalf("post-probe Readyz: %v", err)
+	}
+	h = routerHealth(t, c.routerHS.URL)
+	if h.Status != "ok" || h.ReadyReplicas != 2 || len(h.Replicas) != 2 {
+		t.Fatalf("post-probe health = %+v, want ok/2", h)
+	}
+	owner, ok := h.Shards["alpha"]
+	if !ok {
+		t.Fatal("health shard map missing dataset alpha")
+	}
+	if want, _ := c.rt.Owner("alpha"); owner != want {
+		t.Errorf("health shard owner %q != ring owner %q", owner, want)
+	}
+}
+
+// routerHealth fetches and decodes the router's /healthz (always 200).
+func routerHealth(t *testing.T, base string) Health {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: HTTP %d, want 200 always", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestRouterSubmitBadRequests: undecodable bodies are 400s the router
+// originates itself; unknown datasets pass through as the replica's 404.
+func TestRouterSubmitBadRequests(t *testing.T) {
+	c := startCluster(t, 1, map[string]int64{"alpha": 42}, Config{})
+	c.rt.ProbeAll(context.Background())
+
+	resp, err := http.Post(c.routerHS.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	_, err = c.client.SubmitIdempotent(context.Background(), "nosuch", "x = 1", nil, "bad-ds")
+	if !errors.Is(err, serve.ErrNotFound) {
+		t.Errorf("unknown dataset = %v, want replica's ErrNotFound passed through", err)
+	}
+}
+
+// TestNewRejectsBadConfig pins constructor validation: empty sets, bad
+// names (the namespacing separator especially), missing URLs, duplicates.
+func TestNewRejectsBadConfig(t *testing.T) {
+	cases := []Config{
+		{},
+		{Replicas: []Replica{{Name: "has.dot", BaseURL: "http://x"}}},
+		{Replicas: []Replica{{Name: "", BaseURL: "http://x"}}},
+		{Replicas: []Replica{{Name: "r1", BaseURL: ""}}},
+		{Replicas: []Replica{{Name: "r1", BaseURL: "http://x"}, {Name: "r1", BaseURL: "http://y"}}},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted bad config %+v", i, cfg)
+		}
+	}
+}

@@ -74,17 +74,31 @@ const (
 	// already bound to a different request (other dataset or script), or a
 	// request whose header and body keys disagree (HTTP 409).
 	CodeIdempotencyConflict = "idempotency_conflict"
+	// CodeNotReady marks a request refused because the server is still
+	// booting — curating datasets or replaying its write-ahead log (HTTP
+	// 503, see GET /readyz). Retry after the hint.
+	CodeNotReady = "not_ready"
+	// CodeNoReplica marks a router-originated 503: no ready replica
+	// currently owns the requested shard (a failover is in progress) or
+	// the owning replica could not be reached. Retry after the hint —
+	// the prober ejects the replica and the ring fails the shard over.
+	CodeNoReplica = "no_replica"
+	// CodeRouterShed marks a router-level load shed (HTTP 429): the
+	// shard's owner reported a queue depth at or over the router's
+	// threshold, so the router refused before the replica saturated.
+	CodeRouterShed = "router_shed"
 	// CodeInternal marks any other failure.
 	CodeInternal = "internal"
 )
 
-// retryableCode reports whether an error code marks a failure the client
+// RetryableCode reports whether an error code marks a failure the client
 // should retry (with the same idempotency key, after backing off). The
-// judgment is the server's, carried to clients in ErrorResponse.Retryable
-// and JobStatus via the interrupted state.
-func retryableCode(code string) bool {
+// judgment is the server's (or router's), carried to clients in
+// ErrorResponse.Retryable and JobStatus via the interrupted state.
+func RetryableCode(code string) bool {
 	switch code {
-	case CodeQueueFull, CodeShuttingDown, CodeInterrupted, CodeInternal:
+	case CodeQueueFull, CodeShuttingDown, CodeInterrupted, CodeInternal,
+		CodeNotReady, CodeNoReplica, CodeRouterShed:
 		return true
 	}
 	return false
@@ -248,8 +262,23 @@ type ErrorResponse struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-// HealthResponse is the GET /healthz payload: machine-readable readiness
-// for pollers and the future multi-replica router.
+// ReadyResponse is the GET /readyz 200 payload. Readiness is a separate
+// endpoint from /healthz on purpose: /healthz answers 200 for as long as
+// the process is alive (liveness, with diagnostic payload), while
+// /readyz flips to 503 whenever the server should not receive new work —
+// while draining, and while a restarting daemon is still curating
+// datasets or replaying its write-ahead log. The router's prober keys
+// exclusively off /readyz.
+type ReadyResponse struct {
+	// Status is "ready" (200) or, on the boot surface's 503 path, the
+	// uniform ErrorResponse is returned instead.
+	Status string `json:"status"`
+}
+
+// HealthResponse is the GET /healthz payload: machine-readable liveness
+// diagnostics for pollers and the multi-replica router's prober (which
+// lifts queue depths and the drain flag from it; the go/no-go readiness
+// bit itself comes from GET /readyz).
 type HealthResponse struct {
 	// Status is "ok" while serving and "draining" once shutdown began;
 	// Draining is the same signal as a bool.

@@ -211,6 +211,16 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobS
 	}
 }
 
+// Readyz checks the readiness gate: nil when the server answers 200 on
+// GET /readyz, and the mapped error otherwise — ErrDraining-wrapped with
+// code not_ready while the server is booting (curation, WAL replay) or
+// shutting_down while it drains. A transport error (listener not bound
+// yet, process dead) comes back as-is; both shapes mean "not ready".
+func (c *Client) Readyz(ctx context.Context) error {
+	var ready ReadyResponse
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, &ready)
+}
+
 // Healthz fetches the liveness and queue snapshot.
 func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
 	var h HealthResponse

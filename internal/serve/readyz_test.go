@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lucidscript"
+)
+
+// TestReadyzLivenessSplit pins the liveness/readiness contract: a serving
+// server answers 200 on both endpoints; a draining server keeps /healthz
+// at 200 (the process is alive and pollable) while /readyz flips to a
+// retryable 503 shutting_down — the signal a router's prober uses to
+// eject the replica before its listener closes.
+func TestReadyzLivenessSplit(t *testing.T) {
+	sys := genSystem(t, 42, genOptions())
+	srv, client := startServer(t, map[string]*lucidscript.System{"gen": sys}, Config{Workers: 1})
+	ctx := context.Background()
+
+	if err := client.Readyz(ctx); err != nil {
+		t.Fatalf("Readyz on a serving server: %v", err)
+	}
+	h, err := client.Healthz(ctx)
+	if err != nil || h.Status != "ok" || h.Draining {
+		t.Fatalf("Healthz on a serving server = %+v, %v", h, err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	err = client.Readyz(ctx)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("Readyz while draining = %v, want 503", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeShuttingDown || !ae.Retryable {
+		t.Fatalf("readyz drain error = %+v, want retryable shutting_down", ae)
+	}
+	// Liveness must NOT flip: the drained server still answers status
+	// polls, and /healthz says so.
+	h, err = client.Healthz(ctx)
+	if err != nil {
+		t.Fatalf("Healthz while draining: %v", err)
+	}
+	if !h.Draining || h.Status != "draining" {
+		t.Fatalf("draining Healthz = %+v, want status=draining", h)
+	}
+}
+
+// TestBootHandler pins the boot surface lsserved serves between binding
+// its listener and finishing curation/WAL replay: /healthz is alive
+// ("booting"), /readyz and the whole API are retryable 503 not_ready
+// with a Retry-After hint.
+func TestBootHandler(t *testing.T) {
+	hs := httptest.NewServer(BootHandler(700 * time.Millisecond))
+	defer hs.Close()
+	client := NewClient(hs.URL, nil)
+	ctx := context.Background()
+
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatalf("Healthz on boot surface: %v", err)
+	}
+	if h.Status != "booting" {
+		t.Fatalf("boot Healthz status %q, want booting", h.Status)
+	}
+
+	checkNotReady := func(err error, what string) {
+		t.Helper()
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("%s on boot surface = %v, want 503", what, err)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Code != CodeNotReady || !ae.Retryable {
+			t.Fatalf("%s boot error = %+v, want retryable not_ready", what, ae)
+		}
+		// A sub-second hint must still round up to a whole Retry-After
+		// second on the wire, and ride in RetryAfterMS exactly.
+		if ae.RetryAfter != 700*time.Millisecond {
+			t.Fatalf("%s RetryAfter = %v, want 700ms", what, ae.RetryAfter)
+		}
+	}
+	checkNotReady(client.Readyz(ctx), "Readyz")
+	_, err = client.Submit(ctx, "gen", "x = read_csv(\"gen.csv\")", nil)
+	checkNotReady(err, "Submit")
+	_, err = client.Job(ctx, "j-00000001")
+	checkNotReady(err, "Job")
+
+	resp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("boot Retry-After header %q, want \"1\" (rounded up)", got)
+	}
+}

@@ -1,0 +1,192 @@
+package serve
+
+// RetryPolicy against router-shaped failures: the 503 no_replica a
+// router emits during a failover window, the 429 router_shed of its
+// load-shedding tier, and the Retry-After hints riding on both. The
+// server side is scripted — these tests pin the client loop's behavior,
+// not the router's.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers POST /v1/jobs from a queue of canned responses,
+// repeating the last one forever, and counts what it served.
+type scriptedServer struct {
+	mu       sync.Mutex
+	script   []func(w http.ResponseWriter)
+	requests int
+}
+
+func (s *scriptedServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		step := s.script[0]
+		if len(s.script) > 1 {
+			s.script = s.script[1:]
+		}
+		s.requests++
+		s.mu.Unlock()
+		step(w)
+	})
+	return mux
+}
+
+func (s *scriptedServer) served() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// respondError writes one router/replica error shape, Retry-After header
+// included when the hint is set.
+func respondError(status int, code string, retryAfter time.Duration) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(ErrorResponse{
+			Code: code, Message: "scripted", Retryable: RetryableCode(code),
+			RetryAfterMS: retryAfter.Milliseconds(),
+		})
+	}
+}
+
+// respondAccepted writes the 202 a successful submission produces.
+func respondAccepted(id string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(JobStatus{ID: id, Dataset: "gen", State: StateQueued})
+	}
+}
+
+func scriptedClient(t *testing.T, steps ...func(http.ResponseWriter)) (*Client, *scriptedServer) {
+	t.Helper()
+	ss := &scriptedServer{script: steps}
+	hs := httptest.NewServer(ss.handler())
+	t.Cleanup(hs.Close)
+	return NewClient(hs.URL, nil), ss
+}
+
+// TestRetryRidesOutFailoverWindow: two 503 no_replica responses — the
+// shape a router emits between a replica dying and its shards failing
+// over — then success. The keyed retry loop must absorb the window and
+// return the accepted job.
+func TestRetryRidesOutFailoverWindow(t *testing.T) {
+	client, ss := scriptedClient(t,
+		respondError(http.StatusServiceUnavailable, CodeNoReplica, 10*time.Millisecond),
+		respondError(http.StatusServiceUnavailable, CodeNoReplica, 10*time.Millisecond),
+		respondAccepted("j-00000042"),
+	)
+	policy := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	st, err := client.SubmitRetry(context.Background(), "gen", "x = 1", nil, "fo-key", policy)
+	if err != nil {
+		t.Fatalf("SubmitRetry across failover window: %v", err)
+	}
+	if st.ID != "j-00000042" {
+		t.Errorf("got job %q", st.ID)
+	}
+	if got := ss.served(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (two 503s + success)", got)
+	}
+}
+
+// TestRetryAbsorbsRouterShed: the router's load-shedding 429 is marked
+// retryable and must be retried like the replica's own queue-full.
+func TestRetryAbsorbsRouterShed(t *testing.T) {
+	client, ss := scriptedClient(t,
+		respondError(http.StatusTooManyRequests, CodeRouterShed, 10*time.Millisecond),
+		respondAccepted("j-00000001"),
+	)
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	if _, err := client.SubmitRetry(context.Background(), "gen", "x = 1", nil, "shed-key", policy); err != nil {
+		t.Fatalf("SubmitRetry across shed: %v", err)
+	}
+	if got := ss.served(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+}
+
+// TestRetryRefusesKeylessSubmit: retrying without an idempotency key
+// could execute a job twice across a failover, so SubmitRetry must refuse
+// outright rather than degrade.
+func TestRetryRefusesKeylessSubmit(t *testing.T) {
+	client, _ := scriptedClient(t, respondAccepted("j-00000001"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("keyless SubmitRetry did not panic")
+		}
+	}()
+	client.SubmitRetry(context.Background(), "gen", "x = 1", nil, "", RetryPolicy{})
+}
+
+// TestRetryHonorsServerHint: a Retry-After hint longer than the computed
+// backoff wins — the client must not hammer a server that named its
+// recovery window.
+func TestRetryHonorsServerHint(t *testing.T) {
+	const hint = 300 * time.Millisecond
+	client, _ := scriptedClient(t,
+		respondError(http.StatusServiceUnavailable, CodeNoReplica, hint),
+		respondAccepted("j-00000001"),
+	)
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Second}
+	start := time.Now()
+	if _, err := client.SubmitRetry(context.Background(), "gen", "x = 1", nil, "hint-key", policy); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Errorf("retried after %v, before the server's %v Retry-After hint", elapsed, hint)
+	}
+}
+
+// TestRetryCapsRunawayHint: MaxDelay bounds even an enormous server hint,
+// so one bad Retry-After cannot stall a client for minutes.
+func TestRetryCapsRunawayHint(t *testing.T) {
+	client, ss := scriptedClient(t,
+		respondError(http.StatusServiceUnavailable, CodeNoReplica, 10*time.Second),
+	)
+	policy := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := client.SubmitRetry(context.Background(), "gen", "x = 1", nil, "cap-key", policy)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected the final 503 to surface")
+	}
+	if !Retryable(err) {
+		t.Errorf("surfaced error lost its retryable verdict: %v", err)
+	}
+	if elapsed < 100*time.Millisecond || elapsed > 5*time.Second {
+		t.Errorf("two attempts took %v, want one ~100ms capped wait", elapsed)
+	}
+	if got := ss.served(); got != 2 {
+		t.Errorf("server saw %d attempts, want exactly MaxAttempts=2", got)
+	}
+}
+
+// TestRetryStopsOnNonRetryable: a 400 must surface immediately — no
+// backoff loop around a request the server called malformed.
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	client, ss := scriptedClient(t,
+		respondError(http.StatusBadRequest, CodeBadRequest, 0),
+		respondAccepted("j-00000001"),
+	)
+	policy := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	_, err := client.SubmitRetry(context.Background(), "gen", "x = 1", nil, "bad-key", policy)
+	if err == nil {
+		t.Fatal("400 did not surface")
+	}
+	if got := ss.served(); got != 1 {
+		t.Errorf("server saw %d attempts for a non-retryable error, want 1", got)
+	}
+}

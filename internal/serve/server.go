@@ -298,6 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.handleGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument(s.handleCancel))
 	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument(s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
 	return mux
 }
@@ -702,6 +703,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleReadyz is the readiness gate, split out of the always-200
+// /healthz: 200 while the server should receive new work, 503 (with the
+// uniform retryable error body) once draining began. The boot-time 503 —
+// datasets still curating, WAL still replaying — is served by
+// BootHandler, which daemons mount on the listener until NewServer
+// returns (see cmd/lsserved).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReadyResponse{Status: "ready"})
+}
+
 // handleMetrics dumps the configured registry in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -799,7 +814,7 @@ func (s *Server) writeUnavailable(w http.ResponseWriter) {
 // writeError writes a non-2xx JSON error in the uniform shape, deriving
 // the retryable bit from the code and attaching Retry-After on 429.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
-	resp := ErrorResponse{Code: code, Message: msg, Retryable: retryableCode(code)}
+	resp := ErrorResponse{Code: code, Message: msg, Retryable: RetryableCode(code)}
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		resp.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
