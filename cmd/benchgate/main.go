@@ -25,12 +25,13 @@ import (
 
 func main() {
 	var (
-		report    = flag.String("report", "", "regress report JSON (from lsbench -exp regress -json)")
-		batchBase = flag.String("batch-baseline", "BENCH_batch.json", "committed batch baseline")
-		serveBase = flag.String("serve-baseline", "BENCH_serve.json", "committed serve baseline")
-		routeBase = flag.String("route-baseline", "BENCH_route.json", "committed route baseline")
-		warn      = flag.Float64("warn", 1.5, "warn when current/baseline wall-clock exceeds this ratio")
-		fail      = flag.Float64("fail", 2.0, "fail when current/baseline wall-clock exceeds this ratio")
+		report     = flag.String("report", "", "regress report JSON (from lsbench -exp regress -json)")
+		batchBase  = flag.String("batch-baseline", "BENCH_batch.json", "committed batch baseline")
+		serveBase  = flag.String("serve-baseline", "BENCH_serve.json", "committed serve baseline")
+		routeBase  = flag.String("route-baseline", "BENCH_route.json", "committed route baseline")
+		curateBase = flag.String("curate-baseline", "BENCH_curate.json", "committed curate baseline")
+		warn       = flag.Float64("warn", 1.5, "warn when current/baseline wall-clock exceeds this ratio")
+		fail       = flag.Float64("fail", 2.0, "fail when current/baseline wall-clock exceeds this ratio")
 	)
 	flag.Parse()
 	if *report == "" {
@@ -62,8 +63,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
+	// Same forgiveness for the curate baseline, newer still.
+	cb, err := bench.LoadCurateBaseline(*curateBase)
+	if err != nil && !os.IsNotExist(err) {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
 
-	findings := bench.Gate(rep, bb, sb, rb, bench.GateConfig{WarnRatio: *warn, FailRatio: *fail})
+	findings := bench.Gate(rep, bb, sb, rb, cb, bench.GateConfig{WarnRatio: *warn, FailRatio: *fail})
 	fmt.Println(bench.GateTable(findings).Render())
 	fails, _, line := bench.GateSummary(findings)
 	fmt.Println(line)

@@ -47,6 +47,7 @@ func main() {
 		batchBase   = flag.String("batch-baseline", "", "committed batch baseline for the regress experiment (e.g. BENCH_batch.json)")
 		serveBase   = flag.String("serve-baseline", "", "committed serve baseline for the regress experiment (e.g. BENCH_serve.json)")
 		routeBase   = flag.String("route-baseline", "", "committed route baseline for the regress experiment (e.g. BENCH_route.json)")
+		curateBase  = flag.String("curate-baseline", "", "committed curate baseline for the regress experiment (e.g. BENCH_curate.json)")
 		gateWarn    = flag.Float64("gate-warn", 1.5, "regress gate: warn when current/baseline wall-clock exceeds this ratio")
 		gateFail    = flag.Float64("gate-fail", 2.0, "regress gate: fail when current/baseline wall-clock exceeds this ratio")
 		quiet       = flag.Bool("q", false, "suppress progress output")
@@ -67,19 +68,20 @@ func main() {
 		os.Exit(2)
 	}
 	opts := bench.Options{
-		Seed:              *seed,
-		RowScale:          *rowScale,
-		MinRows:           *minRows,
-		ScriptsPerDataset: *scripts,
-		SeqLength:         *seq,
-		BeamSize:          *beam,
-		DisableExecCache:  *execCache == "off",
-		BatchWorkers:      *batchWork,
-		JSONPath:          *jsonPath,
-		BatchBaselinePath: *batchBase,
-		ServeBaselinePath: *serveBase,
-		RouteBaselinePath: *routeBase,
-		Gate:              bench.GateConfig{WarnRatio: *gateWarn, FailRatio: *gateFail},
+		Seed:               *seed,
+		RowScale:           *rowScale,
+		MinRows:            *minRows,
+		ScriptsPerDataset:  *scripts,
+		SeqLength:          *seq,
+		BeamSize:           *beam,
+		DisableExecCache:   *execCache == "off",
+		BatchWorkers:       *batchWork,
+		JSONPath:           *jsonPath,
+		BatchBaselinePath:  *batchBase,
+		ServeBaselinePath:  *serveBase,
+		RouteBaselinePath:  *routeBase,
+		CurateBaselinePath: *curateBase,
+		Gate:               bench.GateConfig{WarnRatio: *gateWarn, FailRatio: *gateFail},
 	}
 	if *maxCells > 0 || *maxSteps > 0 {
 		limits := interp.DefaultLimits()

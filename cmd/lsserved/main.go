@@ -32,6 +32,16 @@
 // and output hashes, queued jobs are re-enqueued, and jobs that were
 // mid-run are marked interrupted for clients to resubmit (kill -9
 // included; see docs/API.md).
+//
+// With -registry-dir each dataset's curated corpus is persisted to a
+// registry under <registry-dir>/<dataset>: the first boot curates from
+// the -dataset corpus directory and publishes version 1; later boots
+// warm-load the registry snapshot and skip curation entirely. Together
+// with -admin-token this also enables hot-swapping: after lsstd (or any
+// registry writer) publishes a new version, POST
+// /v1/corpus/{dataset}/reload with "Authorization: Bearer <token>" swaps
+// the dataset to the newest version without a restart — in-flight jobs
+// finish on the version they started with.
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"time"
 
 	"lucidscript"
+	"lucidscript/internal/registry"
 	"lucidscript/internal/serve"
 )
 
@@ -85,6 +96,8 @@ func main() {
 		jobRetention = flag.Duration("job-retention", 15*time.Minute, "how long finished job statuses stay pollable before eviction")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before canceling them")
 		dataDir      = flag.String("data-dir", "", "durable job-store directory; jobs survive restarts against the same path (empty = in-memory)")
+		registryDir  = flag.String("registry-dir", "", "corpus-registry base directory; datasets persist curated state under <dir>/<name> and warm-boot from it (empty = curate every boot)")
+		adminToken   = flag.String("admin-token", "", "bearer token for admin endpoints (corpus reload); empty disables them")
 		snapEvery    = flag.Int("snapshot-every", 0, "WAL appends between job-store snapshots (default 512; needs -data-dir)")
 		maxRows      = flag.Int("max-rows", 0, "row cap for search-time execution, full data still verifies (0 = off)")
 		dataPaths    stringList
@@ -153,8 +166,9 @@ func main() {
 	}
 
 	systems := map[string]*lucidscript.System{}
+	reloaders := map[string]serve.Reloader{}
 	for _, spec := range datasetSpecs {
-		name, sys, err := buildDataset(spec, opts)
+		name, sys, reload, err := buildDataset(spec, opts, *registryDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -162,9 +176,12 @@ func main() {
 			fatal(fmt.Errorf("duplicate dataset name %q", name))
 		}
 		systems[name] = sys
+		if reload != nil {
+			reloaders[name] = reload
+		}
 		stats := sys.Stats()
-		fmt.Fprintf(os.Stderr, "lsserved: dataset %q curated: %d scripts, %d unique edges\n",
-			name, stats.Scripts, stats.UniqueEdges)
+		fmt.Fprintf(os.Stderr, "lsserved: dataset %q ready: %d scripts, %d unique edges (corpus v%d)\n",
+			name, stats.Scripts, stats.UniqueEdges, sys.CorpusVersion())
 	}
 
 	srv, err := serve.NewServer(systems, serve.Config{
@@ -174,6 +191,8 @@ func main() {
 		JobRetention:  *jobRetention,
 		DataDir:       *dataDir,
 		SnapshotEvery: *snapEvery,
+		AdminToken:    *adminToken,
+		Reloaders:     reloaders,
 		Metrics:       metrics,
 	})
 	if err != nil {
@@ -212,34 +231,111 @@ func main() {
 	fmt.Fprintln(os.Stderr, "lsserved: bye")
 }
 
-// buildDataset parses one name=corpusDir,csv[,csv...] spec and curates its
-// System.
-func buildDataset(spec string, opts lucidscript.Options) (string, *lucidscript.System, error) {
+// buildDataset parses one name=corpusDir,csv[,csv...] spec and builds its
+// System. With a registry base directory the curated state persists under
+// <base>/<name>: an initialized registry warm-boots (no curation), an
+// empty one is created from the corpus directory and published as version
+// 1. The returned reloader (nil without a registry) re-opens the registry
+// at its newest published version for hot-swapping.
+func buildDataset(spec string, opts lucidscript.Options, registryBase string) (string, *lucidscript.System, serve.Reloader, error) {
 	name, rest, ok := strings.Cut(spec, "=")
 	if !ok || name == "" {
-		return "", nil, fmt.Errorf("bad -dataset %q: want name=corpusDir,data.csv[,more.csv]", spec)
+		return "", nil, nil, fmt.Errorf("bad -dataset %q: want name=corpusDir,data.csv[,more.csv]", spec)
 	}
 	parts := strings.Split(rest, ",")
 	if len(parts) < 2 {
-		return "", nil, fmt.Errorf("bad -dataset %q: want name=corpusDir,data.csv[,more.csv]", spec)
-	}
-	corpus, err := loadCorpus(parts[0])
-	if err != nil {
-		return "", nil, fmt.Errorf("dataset %q: %w", name, err)
+		return "", nil, nil, fmt.Errorf("bad -dataset %q: want name=corpusDir,data.csv[,more.csv]", spec)
 	}
 	sources := map[string]*lucidscript.Frame{}
 	for _, p := range parts[1:] {
 		f, err := lucidscript.ReadCSVFile(p)
 		if err != nil {
-			return "", nil, fmt.Errorf("dataset %q: loading %s: %w", name, p, err)
+			return "", nil, nil, fmt.Errorf("dataset %q: loading %s: %w", name, p, err)
 		}
 		sources[filepath.Base(p)] = f
 	}
-	sys, err := lucidscript.NewSystem(corpus, sources, opts)
-	if err != nil {
-		return "", nil, fmt.Errorf("dataset %q: %w", name, err)
+
+	if registryBase == "" {
+		corpus, err := loadCorpus(parts[0])
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("dataset %q: %w", name, err)
+		}
+		sys, err := lucidscript.NewSystem(corpus, sources, opts)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("dataset %q: %w", name, err)
+		}
+		return name, sys, nil, nil
 	}
-	return name, sys, nil
+
+	regDir := filepath.Join(registryBase, name)
+	var reg *registry.Registry
+	if registry.IsInitialized(regDir) {
+		var err error
+		reg, err = registry.Open(regDir)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("dataset %q: opening registry %s: %w", name, regDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "lsserved: dataset %q warm-booting from registry %s (v%d)\n",
+			name, regDir, reg.Version())
+	} else {
+		members, err := loadCorpusMembers(parts[0])
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("dataset %q: %w", name, err)
+		}
+		reg, err = registry.Create(regDir, members)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("dataset %q: creating registry %s: %w", name, regDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "lsserved: dataset %q curated %d scripts into registry %s (v%d)\n",
+			name, reg.NumScripts(), regDir, reg.Version())
+	}
+	sys, err := lucidscript.NewSystemFromRegistry(reg, sources, opts)
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	reload := func() (*lucidscript.System, int64, error) {
+		r, err := registry.Open(regDir)
+		if err != nil {
+			return nil, 0, err
+		}
+		s, err := lucidscript.NewSystemFromRegistry(r, sources, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s, r.Version(), nil
+	}
+	return name, sys, reload, nil
+}
+
+// loadCorpusMembers reads every *.ls / *.py script in dir as a registry
+// member keyed by file name, sorted for a stable curation order.
+func loadCorpusMembers(dir string) ([]registry.Script, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".ls") || strings.HasSuffix(e.Name(), ".py") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no *.ls or *.py scripts in %s", dir)
+	}
+	members := make([]registry.Script, 0, len(names))
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, registry.Script{ID: n, Source: string(b)})
+	}
+	return members, nil
 }
 
 // loadCorpus reads every *.ls / *.py script in dir, sorted by name.

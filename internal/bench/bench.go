@@ -52,12 +52,14 @@ type Options struct {
 	// (currently "batch", "serve", and "regress") also write a JSON record
 	// file there.
 	JSONPath string
-	// BatchBaselinePath / ServeBaselinePath / RouteBaselinePath point the
-	// "regress" experiment at committed baseline files; when any is set
-	// the fresh replay is gated against it (see GateConfig).
-	BatchBaselinePath string
-	ServeBaselinePath string
-	RouteBaselinePath string
+	// BatchBaselinePath / ServeBaselinePath / RouteBaselinePath /
+	// CurateBaselinePath point the "regress" experiment at committed
+	// baseline files; when any is set the fresh replay is gated against it
+	// (see GateConfig).
+	BatchBaselinePath  string
+	ServeBaselinePath  string
+	RouteBaselinePath  string
+	CurateBaselinePath string
 	// Gate tunes the regression thresholds for the "regress" experiment.
 	Gate GateConfig
 	// Progress receives one line per unit of work when non-nil.

@@ -99,7 +99,7 @@ func TestHistogramAndSparkline(t *testing.T) {
 
 func TestRegistryLookup(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
+	if len(exps) != 16 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	for _, e := range exps {

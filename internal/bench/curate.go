@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"lucidscript/internal/corpusgen"
+	"lucidscript/internal/registry"
+)
+
+// CurateResult is the JSON shape of one "curate" experiment record: the
+// corpus-registry lifecycle at scale. Cold curation (parse + lemmatize +
+// fold + publish) is the price the registry exists to amortize; warm load
+// re-opens the published snapshot without touching the per-script section,
+// and apply re-curates a small churn incrementally. The two speedups are
+// the registry's performance contract — BENCH_curate.json pins them and
+// the regress gate fails a build that lets either collapse.
+type CurateResult struct {
+	// Corpus labels the synthetic corpus ("gen-10k"), the gate's join key.
+	Corpus string `json:"corpus"`
+	// Scripts is the corpus membership size.
+	Scripts int `json:"scripts"`
+	// Churn is how many scripts the apply leg added plus removed (~1%).
+	Churn int `json:"churn"`
+	// Reps is how many times each leg ran; the times below are the best rep.
+	Reps int `json:"reps"`
+	// ColdCurateMS curates the full corpus from source and publishes v1.
+	ColdCurateMS float64 `json:"cold_curate_ms"`
+	// WarmLoadMS re-opens the published registry ready to standardize
+	// (vocabulary loaded, per-script section untouched).
+	WarmLoadMS float64 `json:"warm_load_ms"`
+	// FullLoadMS is the one-time lazy load of the per-script section a
+	// warm-opened registry pays before its first mutation (membership
+	// decode, stats reconstruction, cross-section consistency check).
+	FullLoadMS float64 `json:"full_load_ms"`
+	// ApplyMS applies the churn to a loaded registry and publishes the new
+	// version — the steady-state incremental re-curation cost.
+	ApplyMS float64 `json:"apply_ms"`
+	// RebuildMS curates the post-churn membership from scratch, the cost
+	// Apply replaces.
+	RebuildMS float64 `json:"rebuild_ms"`
+	// WarmSpeedup is ColdCurateMS / WarmLoadMS (contract: >= 5x).
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// ApplySpeedup is RebuildMS / ApplyMS (contract: >= 10x).
+	ApplySpeedup float64 `json:"apply_speedup"`
+	// Identical reports that the applied registry's canonical state matched
+	// the from-scratch rebuild byte for byte (the experiment fails otherwise).
+	Identical bool `json:"identical"`
+}
+
+// The registry's pinned performance contract (see DESIGN.md §10): a warm
+// boot must beat cold curation by at least WarmSpeedupFloor, and a ~1%
+// churn applied incrementally must beat a from-scratch rebuild by at least
+// ApplySpeedupFloor. The gate fails either collapsing regardless of the
+// wall-clock ratios, because the speedups are machine-independent.
+const (
+	WarmSpeedupFloor  = 5.0
+	ApplySpeedupFloor = 10.0
+)
+
+// curateSizes are the corpus sizes the standalone experiment sweeps; the
+// regress replay runs only the first (smallest) to keep CI wall-clock sane.
+var curateSizes = []int{10_000, 100_000}
+
+// Curate measures the corpus-registry lifecycle — cold curation, warm
+// snapshot load, and incremental re-curation under ~1% churn — over
+// seeded synthetic corpora of 10^4..10^5 scripts.
+func Curate(opts Options) (*Table, error) {
+	records, table, err := CurateRecords(opts, curateSizes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.JSONPath != "" {
+		if err := writeJSON(opts.JSONPath, records); err != nil {
+			return nil, err
+		}
+		opts.logf("curate results written to %s", opts.JSONPath)
+	}
+	return table, nil
+}
+
+// CurateRecords runs the curate experiment over the given corpus sizes and
+// returns the records alongside the rendered table, without touching
+// Options.JSONPath. The regress experiment reuses it with the smallest
+// size only.
+func CurateRecords(opts Options, sizes []int) ([]CurateResult, *Table, error) {
+	opts = opts.withDefaults()
+	var records []CurateResult
+	for _, n := range sizes {
+		rec, err := curateOne(opts, n)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: curate %d scripts: %w", n, err)
+		}
+		records = append(records, rec)
+	}
+	return records, curateTable(records), nil
+}
+
+func curateOne(opts Options, n int) (CurateResult, error) {
+	churn := n / 200 // 0.5% removed + 0.5% added = 1% total churn
+	if churn == 0 {
+		churn = 1
+	}
+	comp, err := corpusgen.Get("Titanic")
+	if err != nil {
+		return CurateResult{}, err
+	}
+	opts.Logf("curate: generating %d scripts (seed %d)", n+churn, opts.Seed)
+	// Generate churn extra scripts past the corpus: the per-script streams
+	// make the first n a stable prefix, so the tail is the add set.
+	generated, err := comp.GenerateScaled(corpusgen.ScaleConfig{Seed: opts.Seed, NumScripts: n + churn})
+	if err != nil {
+		return CurateResult{}, err
+	}
+	members := make([]registry.Script, n)
+	for i, g := range generated[:n] {
+		members[i] = registry.Script{ID: comp.ScaledID(i), Source: g.Script.Source()}
+	}
+	adds := make([]registry.Script, churn)
+	for i, g := range generated[n:] {
+		adds[i] = registry.Script{ID: comp.ScaledID(n + i), Source: g.Script.Source()}
+	}
+	// Remove churn members evenly spread across the corpus.
+	removes := make([]registry.Script, churn)
+	for i := range removes {
+		removes[i] = members[(i*n)/churn]
+	}
+	removed := make(map[string]bool, churn)
+	for _, r := range removes {
+		removed[r.ID] = true
+	}
+
+	rec := CurateResult{Corpus: fmt.Sprintf("gen-%dk", n/1000), Scripts: n, Churn: 2 * churn, Reps: 1}
+
+	coldDir, err := os.MkdirTemp("", "lsbench-curate-cold-")
+	if err != nil {
+		return CurateResult{}, err
+	}
+	defer os.RemoveAll(coldDir)
+	opts.Logf("curate: cold-curating %d scripts", n)
+	start := time.Now()
+	if _, err := registry.Create(coldDir, members); err != nil {
+		return CurateResult{}, err
+	}
+	rec.ColdCurateMS = ms(time.Since(start))
+
+	opts.Logf("curate: warm-loading the published snapshot")
+	start = time.Now()
+	warm, err := registry.Open(coldDir)
+	if err != nil {
+		return CurateResult{}, err
+	}
+	_ = warm.Vocab() // the load a standardization needs is now complete
+	rec.WarmLoadMS = ms(time.Since(start))
+
+	opts.Logf("curate: loading the per-script section")
+	start = time.Now()
+	if _, err := warm.Members(); err != nil {
+		return CurateResult{}, err
+	}
+	rec.FullLoadMS = ms(time.Since(start))
+
+	opts.Logf("curate: applying %d-script churn incrementally", 2*churn)
+	start = time.Now()
+	if err := warm.Apply(adds, removes); err != nil {
+		return CurateResult{}, err
+	}
+	if _, err := warm.Publish(); err != nil {
+		return CurateResult{}, err
+	}
+	rec.ApplyMS = ms(time.Since(start))
+
+	// The post-churn membership in the registry's canonical order:
+	// survivors in insertion order, then the adds.
+	mutated := make([]registry.Script, 0, n)
+	for _, m := range members {
+		if !removed[m.ID] {
+			mutated = append(mutated, m)
+		}
+	}
+	mutated = append(mutated, adds...)
+
+	rebuildDir, err := os.MkdirTemp("", "lsbench-curate-rebuild-")
+	if err != nil {
+		return CurateResult{}, err
+	}
+	defer os.RemoveAll(rebuildDir)
+	opts.Logf("curate: rebuilding the post-churn corpus from scratch")
+	start = time.Now()
+	rebuilt, err := registry.Create(rebuildDir, mutated)
+	if err != nil {
+		return CurateResult{}, err
+	}
+	rec.RebuildMS = ms(time.Since(start))
+
+	appliedState, err := warm.StateBytes()
+	if err != nil {
+		return CurateResult{}, err
+	}
+	rebuiltState, err := rebuilt.StateBytes()
+	if err != nil {
+		return CurateResult{}, err
+	}
+	rec.Identical = bytes.Equal(appliedState, rebuiltState)
+	if rec.WarmLoadMS > 0 {
+		rec.WarmSpeedup = rec.ColdCurateMS / rec.WarmLoadMS
+	}
+	if rec.ApplyMS > 0 {
+		rec.ApplySpeedup = rec.RebuildMS / rec.ApplyMS
+	}
+	opts.Logf("curate: %s cold %.0fms, warm %.0fms (%.1fx), full load %.0fms, apply %.0fms vs rebuild %.0fms (%.1fx), identical=%v",
+		rec.Corpus, rec.ColdCurateMS, rec.WarmLoadMS, rec.WarmSpeedup,
+		rec.FullLoadMS, rec.ApplyMS, rec.RebuildMS, rec.ApplySpeedup, rec.Identical)
+	return rec, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+func curateTable(records []CurateResult) *Table {
+	t := &Table{
+		Title: "Corpus-registry lifecycle at scale (cold curate vs warm load vs incremental apply)",
+		Header: []string{"corpus", "scripts", "cold curate", "warm load", "warm speedup",
+			"full load", "apply (1% churn)", "rebuild", "apply speedup", "identical"},
+	}
+	for _, r := range records {
+		t.Rows = append(t.Rows, []string{
+			r.Corpus, fmt.Sprintf("%d", r.Scripts),
+			fmt.Sprintf("%.0fms", r.ColdCurateMS),
+			fmt.Sprintf("%.1fms", r.WarmLoadMS),
+			fmt.Sprintf("%.1fx", r.WarmSpeedup),
+			fmt.Sprintf("%.0fms", r.FullLoadMS),
+			fmt.Sprintf("%.0fms", r.ApplyMS),
+			fmt.Sprintf("%.0fms", r.RebuildMS),
+			fmt.Sprintf("%.1fx", r.ApplySpeedup),
+			fmt.Sprintf("%v", r.Identical),
+		})
+	}
+	return t
+}

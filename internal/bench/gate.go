@@ -53,13 +53,14 @@ type RouteResult struct {
 }
 
 // RegressReport is the machine-readable output of the "regress" experiment:
-// a fresh replay of the batch, serve, and route experiments, comparable
-// against the committed BENCH_batch.json / BENCH_serve.json /
-// BENCH_route.json baselines.
+// a fresh replay of the batch, serve, route, and curate experiments,
+// comparable against the committed BENCH_batch.json / BENCH_serve.json /
+// BENCH_route.json / BENCH_curate.json baselines.
 type RegressReport struct {
-	Batch []BatchResult `json:"batch"`
-	Serve []ServeResult `json:"serve"`
-	Route []RouteResult `json:"route,omitempty"`
+	Batch  []BatchResult  `json:"batch"`
+	Serve  []ServeResult  `json:"serve"`
+	Route  []RouteResult  `json:"route,omitempty"`
+	Curate []CurateResult `json:"curate,omitempty"`
 }
 
 // GateConfig tunes the regression gate. Wall-clock comparisons across
@@ -129,8 +130,9 @@ func compareMS(exp, dataset, metric string, base, cur float64, cfg GateConfig) G
 // Gate compares a fresh regression report against the committed baselines
 // and returns one finding per (dataset, metric) pair. Datasets present in
 // only one side produce a warn-level note instead of a ratio; any
-// non-identical output in the report is an immediate fail.
-func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult, routeBase []RouteResult, cfg GateConfig) []GateFinding {
+// non-identical output in the report is an immediate fail, as is a curate
+// record whose warm or apply speedup falls through its contract floor.
+func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult, routeBase []RouteResult, curateBase []CurateResult, cfg GateConfig) []GateFinding {
 	cfg = cfg.withDefaults()
 	var findings []GateFinding
 
@@ -205,6 +207,50 @@ func Gate(report RegressReport, batchBase []BatchResult, serveBase []ServeResult
 			compareMS("route", cur.Dataset, "served_ms", base.ServedMS, cur.ServedMS, cfg),
 			compareMS("route", cur.Dataset, "routed_ms", base.RoutedMS, cur.RoutedMS, cfg))
 	}
+
+	curateByName := make(map[string]CurateResult, len(curateBase))
+	for _, c := range curateBase {
+		curateByName[c.Corpus] = c
+	}
+	for _, cur := range report.Curate {
+		if !cur.Identical {
+			findings = append(findings, GateFinding{
+				Experiment: "curate", Dataset: cur.Corpus, Metric: "identical",
+				Level: GateFail, Note: "incremental apply diverged from from-scratch rebuild",
+			})
+		}
+		// The speedup floors are the registry's contract and are
+		// machine-independent ratios, so they gate even without a baseline.
+		if cur.WarmSpeedup < WarmSpeedupFloor {
+			findings = append(findings, GateFinding{
+				Experiment: "curate", Dataset: cur.Corpus, Metric: "warm_speedup",
+				BaselineMS: WarmSpeedupFloor, CurrentMS: cur.WarmSpeedup, Level: GateFail,
+				Note: fmt.Sprintf("warm load only %.1fx faster than cold curation (floor %.0fx)",
+					cur.WarmSpeedup, WarmSpeedupFloor),
+			})
+		}
+		if cur.ApplySpeedup < ApplySpeedupFloor {
+			findings = append(findings, GateFinding{
+				Experiment: "curate", Dataset: cur.Corpus, Metric: "apply_speedup",
+				BaselineMS: ApplySpeedupFloor, CurrentMS: cur.ApplySpeedup, Level: GateFail,
+				Note: fmt.Sprintf("1%%-churn apply only %.1fx faster than rebuild (floor %.0fx)",
+					cur.ApplySpeedup, ApplySpeedupFloor),
+			})
+		}
+		base, ok := curateByName[cur.Corpus]
+		if !ok {
+			findings = append(findings, GateFinding{
+				Experiment: "curate", Dataset: cur.Corpus, Metric: "warm_load_ms",
+				CurrentMS: cur.WarmLoadMS, Level: GateWarn, Note: "no baseline record",
+			})
+			continue
+		}
+		findings = append(findings,
+			compareMS("curate", cur.Corpus, "cold_curate_ms", base.ColdCurateMS, cur.ColdCurateMS, cfg),
+			compareMS("curate", cur.Corpus, "warm_load_ms", base.WarmLoadMS, cur.WarmLoadMS, cfg),
+			compareMS("curate", cur.Corpus, "full_load_ms", base.FullLoadMS, cur.FullLoadMS, cfg),
+			compareMS("curate", cur.Corpus, "apply_ms", base.ApplyMS, cur.ApplyMS, cfg))
+	}
 	return findings
 }
 
@@ -274,6 +320,15 @@ func LoadServeBaseline(path string) ([]ServeResult, error) {
 // LoadRouteBaseline reads a committed BENCH_route.json.
 func LoadRouteBaseline(path string) ([]RouteResult, error) {
 	var out []RouteResult
+	if err := readJSON(path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadCurateBaseline reads a committed BENCH_curate.json.
+func LoadCurateBaseline(path string) ([]CurateResult, error) {
+	var out []CurateResult
 	if err := readJSON(path, &out); err != nil {
 		return nil, err
 	}

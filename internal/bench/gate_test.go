@@ -37,7 +37,7 @@ func findingFor(t *testing.T, fs []GateFinding, exp, dataset, metric string) Gat
 
 func TestGateLevels(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
-	fs := Gate(report, batchBase, serveBase, nil, GateConfig{})
+	fs := Gate(report, batchBase, serveBase, nil, nil, GateConfig{})
 
 	// a: unchanged → ok.
 	if f := findingFor(t, fs, "batch", "a", "batch_ms"); f.Level != GateOK {
@@ -70,7 +70,7 @@ func TestGateLevels(t *testing.T) {
 func TestGateNonIdenticalFails(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
 	report.Batch[0].Identical = false
-	fs := Gate(report, batchBase, serveBase, nil, GateConfig{})
+	fs := Gate(report, batchBase, serveBase, nil, nil, GateConfig{})
 	if f := findingFor(t, fs, "batch", "a", "identical"); f.Level != GateFail {
 		t.Fatalf("non-identical output should fail, got %+v", f)
 	}
@@ -79,7 +79,7 @@ func TestGateNonIdenticalFails(t *testing.T) {
 func TestGateMissingBaselineWarns(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
 	report.Serve = append(report.Serve, ServeResult{Dataset: "new", ServedMS: 10, Identical: true})
-	fs := Gate(report, batchBase, serveBase, nil, GateConfig{})
+	fs := Gate(report, batchBase, serveBase, nil, nil, GateConfig{})
 	f := findingFor(t, fs, "serve", "new", "served_ms")
 	if f.Level != GateWarn || f.Note == "" {
 		t.Fatalf("missing baseline should warn with a note, got %+v", f)
@@ -89,9 +89,46 @@ func TestGateMissingBaselineWarns(t *testing.T) {
 func TestGateConfigThresholds(t *testing.T) {
 	report, batchBase, serveBase := gateFixture()
 	// With a sky-high fail ratio nothing fails.
-	fs := Gate(report, batchBase, serveBase, nil, GateConfig{WarnRatio: 10, FailRatio: 20})
+	fs := Gate(report, batchBase, serveBase, nil, nil, GateConfig{WarnRatio: 10, FailRatio: 20})
 	if fails, _, _ := func() (int, int, string) { return GateSummary(fs) }(); fails != 0 {
 		t.Fatalf("generous thresholds should not fail, got %d", fails)
+	}
+}
+
+func TestGateCurateContract(t *testing.T) {
+	report := RegressReport{Curate: []CurateResult{{
+		Corpus: "gen-10k", Scripts: 10000,
+		ColdCurateMS: 1000, WarmLoadMS: 10, FullLoadMS: 200, ApplyMS: 20, RebuildMS: 1000,
+		WarmSpeedup: 100, ApplySpeedup: 50, Identical: true,
+	}}}
+	base := []CurateResult{{Corpus: "gen-10k", ColdCurateMS: 1000, WarmLoadMS: 10, FullLoadMS: 200, ApplyMS: 20}}
+
+	fs := Gate(report, nil, nil, nil, base, GateConfig{})
+	if fails, _, _ := GateSummary(fs); fails != 0 {
+		t.Fatalf("healthy curate record should pass, got %d fails: %+v", fails, fs)
+	}
+	if f := findingFor(t, fs, "curate", "gen-10k", "warm_load_ms"); f.Level != GateOK {
+		t.Fatalf("warm_load_ms should be ok, got %+v", f)
+	}
+
+	// Collapsed speedups and a divergent apply fail regardless of wall clock.
+	report.Curate[0].WarmSpeedup = 2
+	report.Curate[0].ApplySpeedup = 3
+	report.Curate[0].Identical = false
+	fs = Gate(report, nil, nil, nil, base, GateConfig{})
+	for _, metric := range []string{"warm_speedup", "apply_speedup", "identical"} {
+		if f := findingFor(t, fs, "curate", "gen-10k", metric); f.Level != GateFail {
+			t.Fatalf("%s should fail, got %+v", metric, f)
+		}
+	}
+
+	// A corpus with no baseline record warns instead of comparing.
+	report.Curate[0].WarmSpeedup = 100
+	report.Curate[0].ApplySpeedup = 50
+	report.Curate[0].Identical = true
+	fs = Gate(report, nil, nil, nil, nil, GateConfig{})
+	if f := findingFor(t, fs, "curate", "gen-10k", "warm_load_ms"); f.Level != GateWarn || f.Note == "" {
+		t.Fatalf("missing curate baseline should warn with a note, got %+v", f)
 	}
 }
 

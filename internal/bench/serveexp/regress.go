@@ -33,7 +33,12 @@ func Regress(opts bench.Options) (*bench.Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: regress route leg: %w", err)
 	}
-	report := bench.RegressReport{Batch: batchRecs, Serve: serveRecs, Route: routeRecs}
+	opts.Logf("regress: replaying curate experiment (10k corpus only)")
+	curateRecs, _, err := bench.CurateRecords(opts, []int{10_000})
+	if err != nil {
+		return nil, fmt.Errorf("bench: regress curate leg: %w", err)
+	}
+	report := bench.RegressReport{Batch: batchRecs, Serve: serveRecs, Route: routeRecs, Curate: curateRecs}
 
 	if opts.JSONPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
@@ -46,7 +51,8 @@ func Regress(opts bench.Options) (*bench.Table, error) {
 		opts.Logf("regress report written to %s", opts.JSONPath)
 	}
 
-	if opts.BatchBaselinePath == "" && opts.ServeBaselinePath == "" && opts.RouteBaselinePath == "" {
+	if opts.BatchBaselinePath == "" && opts.ServeBaselinePath == "" &&
+		opts.RouteBaselinePath == "" && opts.CurateBaselinePath == "" {
 		return replayTable(report), nil
 	}
 
@@ -68,7 +74,13 @@ func Regress(opts bench.Options) (*bench.Table, error) {
 			return nil, err
 		}
 	}
-	findings := bench.Gate(report, batchBase, serveBase, routeBase, opts.Gate)
+	var curateBase []bench.CurateResult
+	if opts.CurateBaselinePath != "" {
+		if curateBase, err = bench.LoadCurateBaseline(opts.CurateBaselinePath); err != nil {
+			return nil, err
+		}
+	}
+	findings := bench.Gate(report, batchBase, serveBase, routeBase, curateBase, opts.Gate)
 	fails, _, line := bench.GateSummary(findings)
 	opts.Logf("%s", line)
 	if fails > 0 {
@@ -105,6 +117,12 @@ func replayTable(report bench.RegressReport) *bench.Table {
 		t.Rows = append(t.Rows,
 			[]string{"route", r.Dataset, "served_ms", fmt.Sprintf("%.0f", r.ServedMS)},
 			[]string{"route", r.Dataset, "routed_ms", fmt.Sprintf("%.0f", r.RoutedMS)})
+	}
+	for _, c := range report.Curate {
+		t.Rows = append(t.Rows,
+			[]string{"curate", c.Corpus, "cold_curate_ms", fmt.Sprintf("%.0f", c.ColdCurateMS)},
+			[]string{"curate", c.Corpus, "warm_load_ms", fmt.Sprintf("%.0f", c.WarmLoadMS)},
+			[]string{"curate", c.Corpus, "apply_ms", fmt.Sprintf("%.0f", c.ApplyMS)})
 	}
 	return t
 }

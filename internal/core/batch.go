@@ -90,6 +90,18 @@ func (e *Engine) standardizeBatchSession(ctx context.Context, shared *interp.Ses
 	return results, errs
 }
 
+// jobFaultKey is the faults.SiteBatchJob key of batch/queue job i. With an
+// unversioned corpus it stays the bare index ("3"), preserving every
+// existing chaos fixture; a registry-backed corpus prefixes its snapshot
+// version ("v7:3") so queue ids — dense per queue, and queues are rebuilt
+// on every corpus hot-swap — cannot alias a fault rule across swaps.
+func jobFaultKey(version int64, i int) string {
+	if version == 0 {
+		return strconv.Itoa(i)
+	}
+	return "v" + strconv.FormatInt(version, 10) + ":" + strconv.Itoa(i)
+}
+
 // runJob standardizes one job with panic isolation, a per-job deadline, and
 // per-job trace attribution.
 func (e *Engine) runJob(ctx context.Context, shared *interp.SessionCache, i int, su *script.Script) (res *Result, err error) {
@@ -106,7 +118,7 @@ func (e *Engine) runJob(ctx context.Context, shared *interp.SessionCache, i int,
 			}
 		}
 	}()
-	if f := e.std.Config.Faults.Fire(faults.SiteBatchJob, strconv.Itoa(i)); f != nil {
+	if f := e.std.Config.Faults.Fire(faults.SiteBatchJob, jobFaultKey(e.std.Corpus.Version, i)); f != nil {
 		return nil, fmt.Errorf("core: job %d: %w", i, f.Err)
 	}
 	if e.jobTimeout > 0 {

@@ -36,6 +36,13 @@ type CuratedCorpus struct {
 	// chaos-injected to fail), with the contained cause. An empty slice is
 	// the healthy case.
 	Diagnostics []CurateDiagnostic
+	// Version identifies the corpus snapshot this curation came from when
+	// the corpus is registry-backed (monotonically increasing, assigned at
+	// publish). Zero means the corpus was curated in-process and never
+	// versioned. Deterministic per-job fault keys include a non-zero
+	// version so a chaos rule armed at "job 3" does not silently re-fire
+	// on job 3 of every hot-swapped corpus generation.
+	Version int64
 
 	// sampled memoizes the MaxRows-sampled sources so the per-candidate
 	// path never pays the sampling loop (optimization 5 runs once, not once

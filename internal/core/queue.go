@@ -246,7 +246,11 @@ func (q *Queue) Close() {
 	q.wg.Wait()
 	for {
 		select {
-		case j := <-q.jobs:
+		case j, ok := <-q.jobs:
+			if !ok {
+				// Drain closed the buffer after emptying it.
+				return
+			}
 			q.depth.Add(-1)
 			q.metricAdd(obs.MQueueDepth, -1)
 			q.recordOutcome(ErrQueueClosed)
@@ -255,6 +259,30 @@ func (q *Queue) Close() {
 			return
 		}
 	}
+}
+
+// Drain retires the queue gracefully: admission stops (further Submits
+// return ErrQueueClosed), but — unlike Close — every already-admitted job
+// still runs to completion before the workers exit. It is the hot-swap
+// retirement path: a server that replaced this queue's corpus snapshot
+// drains the old queue so jobs admitted against the old corpus version
+// finish on the version they started with. Idempotent, safe to call
+// concurrently with Close (whichever flips the closed flag first decides
+// the buffered jobs' fate), and blocks until the last job lands.
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	if q.isClosed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.isClosed = true
+	// Closing the buffer is safe: submissions only send under mu after
+	// checking isClosed, which is now set. Workers keep receiving until
+	// the buffer is empty, then see the close and exit.
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
 }
 
 // Stats snapshots the queue's admission state for health endpoints.
@@ -284,7 +312,12 @@ func (q *Queue) worker() {
 		select {
 		case <-q.closed:
 			return
-		case j := <-q.jobs:
+		case j, ok := <-q.jobs:
+			if !ok {
+				// Drain closed the buffer: every admitted job has been
+				// received (and run) by some worker; nothing is left.
+				return
+			}
 			q.depth.Add(-1)
 			q.metricAdd(obs.MQueueDepth, -1)
 			select {

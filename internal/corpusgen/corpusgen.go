@@ -102,6 +102,13 @@ type ExtraFile struct {
 	NoScale bool
 }
 
+// The script archetypes a generated corpus mixes (see generateScriptMix).
+const (
+	ArchetypeFull        = "full"
+	ArchetypeMinimal     = "minimal"
+	ArchetypeImputeSplit = "impute-split"
+)
+
 // GeneratedScript is one corpus member with its simulated Kaggle vote count.
 type GeneratedScript struct {
 	Script *script.Script
@@ -109,6 +116,9 @@ type GeneratedScript struct {
 	Votes int
 	// Quality in [0,1] drove step selection (kept for analysis).
 	Quality float64
+	// Archetype records which script shape the generator drew ("full",
+	// "minimal", or "impute-split").
+	Archetype string
 }
 
 // Generated bundles everything a standardization experiment needs.
@@ -339,8 +349,27 @@ func pickWeighted(cats []string, rng *rand.Rand) string {
 	return cats[len(cats)-1]
 }
 
+// The default archetype mix (see generateScript): 18% minimal splitters,
+// 20% impute-and-split, the rest full pipelines. GenerateScaled exposes
+// these as knobs; the unscaled path always uses the defaults, so existing
+// corpora stay bit-identical.
+const (
+	defaultMinimalRatio     = 0.18
+	defaultImputeSplitRatio = 0.20
+)
+
 // generateScript assembles one corpus script from the step templates.
 func (c *Competition) generateScript(rng *rand.Rand) (GeneratedScript, error) {
+	return c.generateScriptMix(rng, defaultMinimalRatio, defaultImputeSplitRatio)
+}
+
+// generateScriptMix is generateScript with the archetype mix explicit:
+// a script is a minimal splitter with probability minimalRatio and an
+// impute-and-split with probability imputeSplitRatio (full pipeline
+// otherwise). The rng draw sequence is identical for every mix, so two
+// corpora generated from the same seeds differ only where the thresholds
+// reclassify a draw.
+func (c *Competition) generateScriptMix(rng *rand.Rand, minimalRatio, imputeSplitRatio float64) (GeneratedScript, error) {
 	quality := rng.Float64()
 	// Real corpora mix script archetypes: full pipelines, "minimal
 	// splitter" scripts that load and go straight to the target split, and
@@ -348,8 +377,8 @@ func (c *Competition) generateScript(rng *rand.Rand) (GeneratedScript, error) {
 	// encoding. The lighter archetypes make short data flows (read→split,
 	// impute→split) legitimately common, as they are on Kaggle.
 	archetypeDraw := rng.Float64()
-	minimal := archetypeDraw < 0.18
-	imputeSplit := !minimal && archetypeDraw < 0.38
+	minimal := archetypeDraw < minimalRatio
+	imputeSplit := !minimal && archetypeDraw < minimalRatio+imputeSplitRatio
 	include := map[int]bool{}
 	for i, t := range c.Steps {
 		pop := t.Pop
@@ -438,7 +467,13 @@ func (c *Competition) generateScript(rng *rand.Rand) (GeneratedScript, error) {
 		return GeneratedScript{}, fmt.Errorf("generated script does not parse: %w\n%s", err, src)
 	}
 	votes := int(quality*40) + rng.Intn(8)
-	return GeneratedScript{Script: s, Votes: votes, Quality: quality}, nil
+	arch := ArchetypeFull
+	if minimal {
+		arch = ArchetypeMinimal
+	} else if imputeSplit {
+		arch = ArchetypeImputeSplit
+	}
+	return GeneratedScript{Script: s, Votes: votes, Quality: quality, Archetype: arch}, nil
 }
 
 func containsNp(line string) bool {

@@ -48,11 +48,72 @@ func BuildVocab(graphs []*dag.Graph) *Vocab {
 	return BuildVocabWeighted(graphs, nil)
 }
 
+// ScriptStats is the per-script contribution to the corpus distributions:
+// the script's atom-key sequences plus its corpus weight. It is everything
+// the vocabulary fold needs, decoupled from the DAG it came from, so a
+// persistent registry can cache one ScriptStats per corpus member and
+// re-fold after membership changes without re-lemmatizing anything.
+type ScriptStats struct {
+	// Weight is the script's corpus weight; non-positive folds as 1.
+	Weight int
+	// LineKeys are the script's line-atom keys in statement order (the
+	// order matters: relative atom positions feed MeanPos).
+	LineKeys []string
+	// EdgeKeys are the script's data-flow edge keys (a multiset).
+	EdgeKeys []string
+	// UnigramKeys are the script's 1-gram atom keys.
+	UnigramKeys []string
+}
+
+// StatsOf extracts one script's fold contribution from its DAG.
+func StatsOf(g *dag.Graph, weight int) ScriptStats {
+	st := ScriptStats{
+		Weight:      weight,
+		LineKeys:    make([]string, len(g.Lines)),
+		EdgeKeys:    make([]string, len(g.Edges)),
+		UnigramKeys: g.Unigrams,
+	}
+	for i, li := range g.Lines {
+		st.LineKeys[i] = li.Key
+	}
+	for i, e := range g.Edges {
+		st.EdgeKeys[i] = e.Key()
+	}
+	return st
+}
+
 // BuildVocabWeighted curates the search space with per-script integer
 // weights (Section 8 suggests weighting scripts by expert authorship or
 // Kaggle vote counts). A weight w makes the script count as w copies in
 // every distribution; nil weights or non-positive entries default to 1.
 func BuildVocabWeighted(graphs []*dag.Graph, weights []int) *Vocab {
+	stats := make([]ScriptStats, len(graphs))
+	atoms := map[string]dag.LineInfo{}
+	for gi, g := range graphs {
+		w := 1
+		if gi < len(weights) && weights[gi] > 0 {
+			w = weights[gi]
+		}
+		stats[gi] = StatsOf(g, w)
+		for _, li := range g.Lines {
+			if _, ok := atoms[li.Key]; !ok {
+				atoms[li.Key] = li
+			}
+		}
+	}
+	return BuildVocabFromStats(stats, atoms)
+}
+
+// BuildVocabFromStats folds per-script stats into a fresh Vocab. It is the
+// single fold both curation paths share: BuildVocabWeighted delegates here,
+// and the corpus registry re-folds its cached stats here after incremental
+// membership changes — so the incremental result is byte-identical to a
+// from-scratch curation of the same scripts in the same order (the
+// floating-point MeanPos accumulation runs the exact same operation
+// sequence). atoms supplies the representative LineInfo per line-atom key;
+// an atom key is its canonical lemmatized source, so the representative is
+// the same whichever script contributed it.
+func BuildVocabFromStats(stats []ScriptStats, atoms map[string]dag.LineInfo) *Vocab {
 	v := &Vocab{
 		EdgeCounts:    map[string]int{},
 		LineCounts:    map[string]int{},
@@ -63,28 +124,28 @@ func BuildVocabWeighted(graphs []*dag.Graph, weights []int) *Vocab {
 	}
 	posSum := map[string]float64{}
 	posN := map[string]int{}
-	for gi, g := range graphs {
-		w := 1
-		if gi < len(weights) && weights[gi] > 0 {
-			w = weights[gi]
+	for _, st := range stats {
+		w := st.Weight
+		if w <= 0 {
+			w = 1
 		}
 		v.NumScripts += w
-		for _, e := range g.Edges {
-			v.EdgeCounts[e.Key()] += w
+		for _, ek := range st.EdgeKeys {
+			v.EdgeCounts[ek] += w
 			v.TotalEdges += w
 		}
-		n := len(g.Lines)
-		for i, li := range g.Lines {
-			v.LineCounts[li.Key] += w
-			if _, ok := v.Lines[li.Key]; !ok {
-				v.Lines[li.Key] = li
+		n := len(st.LineKeys)
+		for i, lk := range st.LineKeys {
+			v.LineCounts[lk] += w
+			if _, ok := v.Lines[lk]; !ok {
+				v.Lines[lk] = atoms[lk]
 			}
 			if n > 1 {
-				posSum[li.Key] += float64(w) * float64(i) / float64(n-1)
+				posSum[lk] += float64(w) * float64(i) / float64(n-1)
 			}
-			posN[li.Key] += w
+			posN[lk] += w
 		}
-		for _, u := range g.Unigrams {
+		for _, u := range st.UnigramKeys {
 			v.UnigramCounts[u] += w
 		}
 	}

@@ -1,0 +1,112 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedSnapshot renders a small valid snapshot for the fuzzer to mutate.
+func fuzzSeedSnapshot(t testing.TB) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := Create(dir, []Script{
+		{ID: "a", Source: "import pandas as pd\ndf = pd.read_csv(\"d.csv\")\ndf = df.dropna()\n"},
+		{ID: "b", Source: "import pandas as pd\ndf = pd.read_csv(\"d.csv\")\ndf = df.fillna(df.median())\n", Weight: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, snapshotName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzRegistryLoad throws arbitrary bytes at the snapshot loader as the
+// CURRENT version of a registry directory. The loader's contract under any
+// corruption — truncation, bit flips, swapped or duplicated sections,
+// garbage — is a typed error or a successful, internally consistent load;
+// never a panic, never silently loading garbage. When a known-good older
+// snapshot sits beside the corrupted one, Open must recover to it.
+func FuzzRegistryLoad(f *testing.F) {
+	valid := fuzzSeedSnapshot(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("lsreg 1\n"))
+	f.Add([]byte("lsreg 1\nmeta 2 00000000\n{}\n"))
+	f.Add(valid[:len(valid)/2])                                      // truncated mid-file
+	f.Add(valid[:len(valid)-1])                                      // missing final separator
+	f.Add(append([]byte("lsreg 2\n"), valid[8:]...))                 // wrong magic version
+	f.Add(bytes.Replace(valid, []byte("vocab"), []byte("scrip"), 1)) // section misnamed
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped) // bit flip in a payload
+	if i := bytes.Index(valid, []byte("\nscripts ")); i > 0 {
+		// Sections re-ordered: scripts where vocab belongs.
+		swapped := append([]byte{}, valid[:bytes.Index(valid, []byte("\nvocab "))+1]...)
+		swapped = append(swapped, valid[i+1:]...)
+		f.Add(swapped)
+	}
+	f.Add([]byte("lsreg 1\nmeta 99999999999 ffffffff\n")) // allocation-bomb length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapshotName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, currentFile), []byte(snapshotName(1)+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg, err := Open(dir)
+		if err != nil {
+			// A rejected load must be a typed error the caller can classify:
+			// ErrCorrupt for damage, or the deliberate "unsupported format"
+			// rejection — never a bare failure, never a panic.
+			if !errors.Is(err, ErrCorrupt) && !isFormatRejection(err) {
+				t.Fatalf("untyped load error: %v", err)
+			}
+		} else {
+			// The header loaded: the lazy scripts path must also either load
+			// a consistent corpus or reject it — never panic.
+			if reg.Version() != 1 {
+				t.Fatalf("loaded version %d from corpus-00000001.reg", reg.Version())
+			}
+			if aerr := reg.Apply(nil, nil); aerr != nil && !errors.Is(aerr, ErrCorrupt) {
+				t.Fatalf("untyped lazy-load error: %v", aerr)
+			}
+		}
+
+		// Recovery: the same bytes beside a good older version must never
+		// mask it — Open always lands on a loadable snapshot.
+		good := valid
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, snapshotName(1)), good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, snapshotName(2)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir2, currentFile), []byte(snapshotName(2)+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reg2, err := Open(dir2)
+		if err != nil {
+			t.Fatalf("good v1 present but Open failed: %v", err)
+		}
+		if v := reg2.Version(); v != 1 && v != 2 {
+			t.Fatalf("recovered to impossible version %d", v)
+		}
+	})
+}
+
+// isFormatRejection classifies the loader's deliberate "future format"
+// rejections, which are typed by message rather than sentinel (they are not
+// corruption).
+func isFormatRejection(err error) bool {
+	msg := err.Error()
+	return bytes.Contains([]byte(msg), []byte("unsupported snapshot format")) ||
+		bytes.Contains([]byte(msg), []byte("unsupported search-space version"))
+}

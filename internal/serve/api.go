@@ -87,6 +87,17 @@ const (
 	// shard's owner reported a queue depth at or over the router's
 	// threshold, so the router refused before the replica saturated.
 	CodeRouterShed = "router_shed"
+	// CodeForbidden marks an admin request without a valid bearer token
+	// (HTTP 403) — corpus reloads are admin-gated. Not retryable.
+	CodeForbidden = "forbidden"
+	// CodeReloadUnavailable marks a corpus reload against a dataset with no
+	// reload source configured (HTTP 409): the server was booted from an
+	// in-process corpus, not a registry. Not retryable.
+	CodeReloadUnavailable = "reload_unavailable"
+	// CodeReloadFailed marks a corpus reload whose registry re-open failed
+	// (HTTP 500). The previous corpus version stays active; retry once the
+	// registry directory is healthy.
+	CodeReloadFailed = "reload_failed"
 	// CodeInternal marks any other failure.
 	CodeInternal = "internal"
 )
@@ -184,9 +195,30 @@ type JobStatus struct {
 	Result *JobResult `json:"result,omitempty"`
 	// IdempotencyKey echoes the submission's key, when one was sent.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// CorpusVersion is the registry snapshot version of the corpus this
+	// job was admitted against. Hot-swapping the dataset's corpus never
+	// moves an in-flight job: it finishes — and hashes its output — on the
+	// version reported here. Zero when the dataset's corpus is unversioned
+	// (curated in-process, no registry).
+	CorpusVersion int64 `json:"corpus_version,omitempty"`
 	// SubmittedAt / FinishedAt are server-clock timestamps (RFC 3339).
 	SubmittedAt time.Time  `json:"submitted_at"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// ReloadResponse is the POST /v1/corpus/{dataset}/reload payload.
+type ReloadResponse struct {
+	// Dataset echoes the reloaded dataset's name.
+	Dataset string `json:"dataset"`
+	// CorpusVersion is the version now active; Previous is the version it
+	// replaced. Equal (with Changed false) when the registry had nothing
+	// newer.
+	CorpusVersion int64 `json:"corpus_version"`
+	Previous      int64 `json:"previous"`
+	// Changed reports whether a swap actually happened.
+	Changed bool `json:"changed"`
+	// CorpusScripts is the active corpus size after the reload.
+	CorpusScripts int `json:"corpus_scripts"`
 }
 
 // ListResponse is the GET /v1/jobs payload: one page of job statuses in
@@ -309,6 +341,10 @@ type DatasetHealth struct {
 	Failed        int64 `json:"failed"`
 	// CorpusScripts is the curated corpus size backing this dataset.
 	CorpusScripts int `json:"corpus_scripts"`
+	// CorpusVersion is the active registry snapshot version (0 when the
+	// corpus is unversioned). Watch it across POST /v1/corpus/…/reload to
+	// confirm a hot-swap landed.
+	CorpusVersion int64 `json:"corpus_version,omitempty"`
 }
 
 // StoreHealth is the durable store's snapshot inside HealthResponse.

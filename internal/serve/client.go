@@ -28,6 +28,9 @@ var (
 	// ErrConflict: an idempotency key is already bound to a different
 	// request (HTTP 409). Not retryable — the caller's key reuse is a bug.
 	ErrConflict = errors.New("serve: conflict")
+	// ErrForbidden: an admin endpoint rejected the request's bearer token
+	// (HTTP 403). Not retryable.
+	ErrForbidden = errors.New("serve: forbidden")
 	// ErrOverloaded: admission control rejected the submission (HTTP 429);
 	// honor APIError.RetryAfter.
 	ErrOverloaded = errors.New("serve: server overloaded")
@@ -221,6 +224,23 @@ func (c *Client) Readyz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, &ready)
 }
 
+// ReloadCorpus asks the server to hot-swap dataset's corpus to its
+// registry's newest published version (POST /v1/corpus/{dataset}/reload),
+// authenticating with the server's admin token. The response reports the
+// now-active version and whether a swap actually happened; in-flight jobs
+// are unaffected either way (they finish on the version they started
+// with). 403 maps to ErrForbidden, 409 (no registry behind the dataset) to
+// ErrConflict.
+func (c *Client) ReloadCorpus(ctx context.Context, dataset, adminToken string) (*ReloadResponse, error) {
+	hdr := http.Header{}
+	hdr.Set("Authorization", "Bearer "+adminToken)
+	var resp ReloadResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/corpus/"+url.PathEscape(dataset)+"/reload", hdr, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Healthz fetches the liveness and queue snapshot.
 func (c *Client) Healthz(ctx context.Context) (*HealthResponse, error) {
 	var h HealthResponse
@@ -289,6 +309,8 @@ func (c *Client) do(ctx context.Context, method, path string, hdr http.Header, b
 		class = ErrBadRequest
 	case http.StatusNotFound:
 		class = ErrNotFound
+	case http.StatusForbidden:
+		class = ErrForbidden
 	case http.StatusConflict:
 		class = ErrConflict
 	case http.StatusTooManyRequests:

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lucidscript"
+	"lucidscript/internal/gen"
+	"lucidscript/internal/registry"
+)
+
+// regScripts renders the generative corpus as registry members.
+func regScripts(t testing.TB, seed int64, n int) []registry.Script {
+	t.Helper()
+	out := make([]registry.Script, n)
+	for i, su := range gen.New(seed).Scripts(n) {
+		out[i] = registry.Script{ID: fmt.Sprintf("gen-%03d", i), Source: su.Source()}
+	}
+	return out
+}
+
+// registryServer boots a reloadable server: dataset "gen" served from a
+// corpus registry directory, with the reloader re-opening that directory.
+// Returns the registry handle the test mutates to publish new versions.
+func registryServer(t *testing.T, cfg Config) (*registry.Registry, *Server, *Client) {
+	t.Helper()
+	dir := t.TempDir()
+	reg, err := registry.Create(dir, regScripts(t, 42, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := gen.New(42).Sources(120)
+	newSys := func() (*lucidscript.System, int64, error) {
+		r, err := registry.Open(dir)
+		if err != nil {
+			return nil, 0, err
+		}
+		sys, err := lucidscript.NewSystemFromRegistry(r, sources, genOptions())
+		if err != nil {
+			return nil, 0, err
+		}
+		return sys, r.Version(), nil
+	}
+	sys, _, err := newSys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Reloaders == nil {
+		cfg.Reloaders = map[string]Reloader{}
+	}
+	cfg.Reloaders["gen"] = newSys
+	srv, client := startServer(t, map[string]*lucidscript.System{"gen": sys}, cfg)
+	return reg, srv, client
+}
+
+func TestReloadAdminGateAndSwap(t *testing.T) {
+	reg, _, client := registryServer(t, Config{Workers: 2, AdminToken: "sesame"})
+	ctx := context.Background()
+
+	if _, err := client.ReloadCorpus(ctx, "gen", "wrong"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("bad token: err = %v, want ErrForbidden", err)
+	}
+	if _, err := client.ReloadCorpus(ctx, "nope", "sesame"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown dataset: err = %v, want ErrNotFound", err)
+	}
+
+	// Nothing new published: the reload is a no-op.
+	resp, err := client.ReloadCorpus(ctx, "gen", "sesame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Changed || resp.CorpusVersion != 1 || resp.Previous != 1 {
+		t.Fatalf("no-op reload = %+v", resp)
+	}
+
+	// Publish version 2 and swap it in.
+	extra := regScripts(t, 5, 10)[8:]
+	if err := reg.Apply(extra, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.ReloadCorpus(ctx, "gen", "sesame")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Changed || resp.CorpusVersion != 2 || resp.Previous != 1 {
+		t.Fatalf("swap reload = %+v", resp)
+	}
+	if resp.CorpusScripts != 10 {
+		t.Fatalf("corpus scripts after swap = %d, want 10", resp.CorpusScripts)
+	}
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Datasets["gen"].CorpusVersion != 2 {
+		t.Fatalf("healthz corpus_version = %d, want 2", h.Datasets["gen"].CorpusVersion)
+	}
+
+	// A job submitted now reports — and ran against — version 2.
+	st, err := client.Submit(ctx, "gen", gen.New(7).ScriptSource(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CorpusVersion != 2 {
+		t.Fatalf("job corpus_version = %d, want 2", st.CorpusVersion)
+	}
+}
+
+func TestReloadDisabledWithoutTokenOrRegistry(t *testing.T) {
+	// No AdminToken configured: the endpoint is off even with a registry.
+	_, _, client := registryServer(t, Config{Workers: 1})
+	if _, err := client.ReloadCorpus(context.Background(), "gen", ""); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("token unset: err = %v, want ErrForbidden", err)
+	}
+
+	// Token set but the dataset has no reloader: 409 reload_unavailable.
+	sys := genSystem(t, 42, genOptions())
+	_, client2 := startServer(t, map[string]*lucidscript.System{"gen": sys}, Config{Workers: 1, AdminToken: "sesame"})
+	if _, err := client2.ReloadCorpus(context.Background(), "gen", "sesame"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("no registry: err = %v, want ErrConflict", err)
+	}
+}
+
+// TestHotSwapSoak hammers one dataset with concurrent submissions while the
+// corpus is re-published and hot-swapped in a loop. The invariant under
+// race: every job lands on exactly one published corpus version, and its
+// standardized script is byte-identical to what a direct System over that
+// version produces — no torn reads, no job crossing generations mid-run.
+func TestHotSwapSoak(t *testing.T) {
+	reg, _, client := registryServer(t, Config{Workers: 4, QueueDepth: 32, AdminToken: "sesame"})
+	ctx := context.Background()
+	sources := gen.New(42).Sources(120)
+	user := gen.New(7).ScriptSource()
+
+	// oracle maps each published corpus version to the standardized source
+	// a direct System over that version yields for the soak's script.
+	oracle := map[int64]string{}
+	var oracleMu sync.Mutex
+	record := func() {
+		sys, err := lucidscript.NewSystemFromRegistry(reg, sources, genOptions())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sc, err := lucidscript.ParseScript(user)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := sys.Standardize(sc)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		oracleMu.Lock()
+		oracle[sys.CorpusVersion()] = res.Script.Source()
+		oracleMu.Unlock()
+	}
+	record() // version 1
+
+	swaps := 4
+	jobsPerWorker := 6
+	submitters := 3
+	if testing.Short() {
+		swaps, jobsPerWorker = 2, 3
+	}
+
+	var wg sync.WaitGroup
+	ids := make(chan string, swaps*2+submitters*jobsPerWorker)
+
+	// Publisher: grow the corpus, publish, record the oracle, hot-swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			add := registry.Script{
+				ID:     fmt.Sprintf("swap-%03d", i),
+				Source: gen.New(int64(100 + i)).ScriptSource(),
+			}
+			if err := reg.Apply([]registry.Script{add}, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := reg.Publish(); err != nil {
+				t.Error(err)
+				return
+			}
+			record()
+			if _, err := client.ReloadCorpus(ctx, "gen", "sesame"); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Submitters: hammer the dataset throughout the swaps, retrying the
+	// retryable races (queue closed under a swap, queue full).
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobsPerWorker; i++ {
+				for {
+					st, err := client.Submit(ctx, "gen", user, nil)
+					if err == nil {
+						ids <- st.ID
+						break
+					}
+					if errors.Is(err, ErrDraining) || errors.Is(err, ErrOverloaded) {
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+
+	done := 0
+	for id := range ids {
+		st, err := client.Wait(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s state = %q (error %q, code %q)", id, st.State, st.Error, st.Code)
+		}
+		oracleMu.Lock()
+		want, ok := oracle[st.CorpusVersion]
+		oracleMu.Unlock()
+		if !ok {
+			t.Fatalf("job %s reports corpus version %d, which was never published", id, st.CorpusVersion)
+		}
+		if st.Result == nil || st.Result.Script != want {
+			t.Fatalf("job %s (corpus v%d) result diverges from that version's direct standardization", id, st.CorpusVersion)
+		}
+		done++
+	}
+	if done != submitters*jobsPerWorker {
+		t.Fatalf("completed %d jobs, want %d", done, submitters*jobsPerWorker)
+	}
+}

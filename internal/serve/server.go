@@ -53,7 +53,22 @@ type Config struct {
 	// counters into the same exposition, pass the registry the Systems
 	// were built with (Options.Metrics).
 	Metrics *lucidscript.Metrics
+	// AdminToken gates POST /v1/corpus/{dataset}/reload: requests must
+	// carry it as "Authorization: Bearer <token>". Empty disables the
+	// endpoint entirely (every reload is 403) — hot-swap is opt-in.
+	AdminToken string
+	// Reloaders supplies each dataset's corpus-reload source: the function
+	// re-opens the dataset's registry and returns a System over the newest
+	// published snapshot plus that snapshot's version. Datasets without an
+	// entry reject reloads with CodeReloadUnavailable. A daemon booted from
+	// a registry directory wires one per dataset (see cmd/lsserved).
+	Reloaders map[string]Reloader
 }
+
+// Reloader rebuilds one dataset's System from its corpus source's newest
+// published version, returning that version. Called with the dataset's
+// reload mutex held — at most one reload per dataset runs at a time.
+type Reloader func() (*lucidscript.System, int64, error)
 
 // withDefaults resolves the zero values.
 func (c Config) withDefaults() Config {
@@ -69,15 +84,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// dataset is one hosted dataset/corpus pair: the curated System and its
-// long-lived job queue. hashSem bounds concurrent output-hash executions
-// to the queue's worker count, so a burst of completions cannot run more
-// full-data passes at once than the queue itself would admit.
-type dataset struct {
-	name    string
+// corpusState is one corpus generation of a dataset: the System curated
+// (or registry-loaded) at that version, its job queue, and the hash
+// semaphore bounding concurrent output-hash executions to the queue's
+// worker count. A hot-swap builds a whole new corpusState and swings the
+// dataset's active pointer; jobs hold the corpusState they were admitted
+// against, so they execute and hash on the corpus version they started
+// with no matter how many swaps happen while they run.
+type corpusState struct {
+	version int64
 	sys     *lucidscript.System
 	queue   *lucidscript.JobQueue
 	hashSem chan struct{}
+}
+
+// dataset is one hosted dataset name: the atomically swappable active
+// corpus plus the reload source. reloadMu serializes reloads per dataset;
+// the active pointer is what the submit path reads, lock-free.
+type dataset struct {
+	name     string
+	active   atomic.Pointer[corpusState]
+	reload   Reloader
+	reloadMu sync.Mutex
 }
 
 // jobRecord tracks one submitted job until its retention window expires.
@@ -88,10 +116,11 @@ type jobRecord struct {
 	script      string
 	submitted   time.Time
 
-	// dataset and job are nil for records recovered from the store in a
-	// terminal state — there is nothing left to execute or hash.
-	dataset *dataset
-	job     *lucidscript.QueuedJob
+	// corpus and job are nil for records recovered from the store in a
+	// terminal state — there is nothing left to execute or hash. corpus is
+	// the generation the job was admitted against, pinned across swaps.
+	corpus *corpusState
+	job    *lucidscript.QueuedJob
 
 	// finalized is closed once terminal holds the job's final wire status;
 	// status only reads terminal after the close, so no lock is needed. It
@@ -150,13 +179,14 @@ func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, err
 		if sys == nil {
 			return nil, fmt.Errorf("serve: dataset %q has a nil System", name)
 		}
-		d := &dataset{
-			name:  name,
-			sys:   sys,
-			queue: sys.NewJobQueue(cfg.Workers, cfg.QueueDepth),
-		}
-		d.hashSem = make(chan struct{}, d.queue.Stats().Workers)
+		d := &dataset{name: name, reload: cfg.Reloaders[name]}
+		d.active.Store(s.newCorpusState(sys))
 		s.datasets[name] = d
+	}
+	for name := range cfg.Reloaders {
+		if _, ok := s.datasets[name]; !ok {
+			return nil, fmt.Errorf("serve: reloader configured for unhosted dataset %q", name)
+		}
 	}
 	if cfg.DataDir != "" {
 		st, err := store.Open(cfg.DataDir, store.Options{SnapshotEvery: cfg.SnapshotEvery})
@@ -170,6 +200,19 @@ func NewServer(systems map[string]*lucidscript.System, cfg Config) (*Server, err
 		}
 	}
 	return s, nil
+}
+
+// newCorpusState wraps a System into a running corpus generation: a fresh
+// job queue and a hash semaphore sized to its worker pool. The version
+// comes from the System itself (0 for in-process corpora).
+func (s *Server) newCorpusState(sys *lucidscript.System) *corpusState {
+	cs := &corpusState{
+		version: sys.CorpusVersion(),
+		sys:     sys,
+		queue:   sys.NewJobQueue(s.cfg.Workers, s.cfg.QueueDepth),
+	}
+	cs.hashSem = make(chan struct{}, cs.queue.Stats().Workers)
+	return cs
 }
 
 // recover replays the durable store into live server state: the id
@@ -248,7 +291,11 @@ func (s *Server) requeueRecord(rec *store.Record) {
 		s.interruptRecord(rec, fmt.Sprintf("stored script no longer parses: %v", err))
 		return
 	}
-	job, err := d.queue.SubmitObserved(context.Background(), sc, s.observer(rec.ID))
+	// A requeued job runs on the corpus active now — possibly newer than
+	// the one it was originally admitted against; its terminal status
+	// reports the version it actually executed on.
+	cs := d.active.Load()
+	job, err := cs.queue.SubmitObserved(context.Background(), sc, s.observer(rec.ID))
 	if err != nil {
 		s.interruptRecord(rec, fmt.Sprintf("re-enqueue failed: %v", err))
 		return
@@ -259,7 +306,7 @@ func (s *Server) requeueRecord(rec *store.Record) {
 		idemKey:     rec.IdempotencyKey,
 		script:      rec.Script,
 		submitted:   rec.SubmittedAt,
-		dataset:     d,
+		corpus:      cs,
 		job:         job,
 		finalized:   make(chan struct{}),
 	}
@@ -297,6 +344,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.instrument(s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.handleGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument(s.handleCancel))
+	mux.HandleFunc("POST /v1/corpus/{dataset}/reload", s.instrument(s.handleReload))
 	mux.HandleFunc("GET /healthz", s.instrument(s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument(s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument(s.handleMetrics))
@@ -319,7 +367,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		defer close(done)
 		for _, d := range s.datasets {
-			d.queue.Close()
+			// Retired corpus generations' queues are already draining (each
+			// swap kicks one off); their jobs are tracked in s.jobs like any
+			// other, so waiting on rec.finalized below covers them.
+			d.active.Load().queue.Close()
 		}
 		s.mu.RLock()
 		recs := make([]*jobRecord, 0, len(s.jobs))
@@ -425,13 +476,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	seq := s.seq.Add(1)
 	id := fmt.Sprintf("j-%08d", seq)
 	now := time.Now().UTC()
+	// Pin the corpus generation before admission: the job joins this
+	// generation's queue and keeps executing — and hashing — against it
+	// even if a hot-swap retires it mid-flight. A swap racing this load
+	// may close the old queue first; the ErrQueueClosed below then turns
+	// into a retryable 503 and the retry lands on the new generation.
+	cs := d.active.Load()
 	if s.store != nil {
 		// The submit record lands in the WAL before the queue can possibly
 		// run the job, so a crash never leaves an executing job the log
 		// has no record of. A rejected admission evicts it right back.
 		err := s.store.AppendSubmit(&store.Record{
 			ID: id, Seq: seq, Dataset: req.Dataset, Script: req.Script,
-			IdempotencyKey: key, SubmittedAt: now,
+			IdempotencyKey: key, CorpusVersion: cs.version, SubmittedAt: now,
 		})
 		if err != nil {
 			s.mu.Unlock()
@@ -440,7 +497,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	job, err := d.queue.SubmitObserved(ctx, sc, s.observer(id))
+	job, err := cs.queue.SubmitObserved(ctx, sc, s.observer(id))
 	if err != nil {
 		if s.store != nil {
 			_ = s.store.AppendEvict(id)
@@ -464,7 +521,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		idemKey:     key,
 		script:      req.Script,
 		submitted:   now,
-		dataset:     d,
+		corpus:      cs,
 		job:         job,
 		finalized:   make(chan struct{}),
 	}
@@ -492,15 +549,19 @@ func (s *Server) finalizeJob(rec *jobRecord, cancel context.CancelFunc) {
 	var hash string
 	var hashErr error
 	if err == nil && res != nil {
-		rec.dataset.hashSem <- struct{}{}
-		hash, hashErr = rec.dataset.sys.OutputHash(res.Script)
-		<-rec.dataset.hashSem
+		// The hash runs on the generation the job was admitted against —
+		// pinned in rec.corpus — so a hot-swap mid-job cannot make the
+		// result's hash come from a different corpus than its search did.
+		rec.corpus.hashSem <- struct{}{}
+		hash, hashErr = rec.corpus.sys.OutputHash(res.Script)
+		<-rec.corpus.hashSem
 	}
 	now := time.Now().UTC()
 	st := &JobStatus{
 		ID:             rec.id,
 		Dataset:        rec.datasetName,
 		IdempotencyKey: rec.idemKey,
+		CorpusVersion:  rec.corpus.version,
 		SubmittedAt:    rec.submitted,
 		FinishedAt:     &now,
 		Result:         toWireResult(res, hash),
@@ -666,6 +727,62 @@ func validState(st string) bool {
 	return false
 }
 
+// handleReload is POST /v1/corpus/{dataset}/reload: re-open the dataset's
+// corpus registry and, when a newer version is published, hot-swap it in.
+// The swap is a pointer swing: new submissions land on the new generation
+// immediately, while jobs already admitted keep running — and hash their
+// outputs — on the generation they started with; the retired generation's
+// queue drains in the background. Admin-gated by Config.AdminToken.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.AdminToken == "" || r.Header.Get("Authorization") != "Bearer "+s.cfg.AdminToken {
+		s.writeError(w, http.StatusForbidden, CodeForbidden, "corpus reload requires a valid admin bearer token")
+		return
+	}
+	if s.draining.Load() {
+		s.writeUnavailable(w)
+		return
+	}
+	name := r.PathValue("dataset")
+	d, ok := s.datasets[name]
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeUnknownDataset, fmt.Sprintf("unknown dataset %q", name))
+		return
+	}
+	if d.reload == nil {
+		s.writeError(w, http.StatusConflict, CodeReloadUnavailable,
+			fmt.Sprintf("dataset %q has no corpus registry to reload from", name))
+		return
+	}
+	d.reloadMu.Lock()
+	defer d.reloadMu.Unlock()
+	prev := d.active.Load()
+	sys, version, err := d.reload()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, CodeReloadFailed,
+			fmt.Sprintf("reloading corpus for %q: %v (version %d stays active)", name, err, prev.version))
+		return
+	}
+	resp := ReloadResponse{Dataset: name, Previous: prev.version}
+	if version == prev.version {
+		resp.CorpusVersion = prev.version
+		resp.CorpusScripts = prev.sys.Stats().Scripts
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	next := s.newCorpusState(sys)
+	// The reloader's version is authoritative (a System built straight
+	// from the registry already agrees; this covers custom reloaders).
+	next.version = version
+	d.active.Store(next)
+	// Retire the old generation gracefully: stop admission, but run every
+	// already-admitted job to completion on its own corpus version.
+	go prev.queue.Drain()
+	resp.CorpusVersion = next.version
+	resp.Changed = true
+	resp.CorpusScripts = next.sys.Stats().Scripts
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // handleHealthz reports readiness: per-dataset queue snapshots, aggregate
 // queued/running counts, the draining flag, and — on durable servers —
 // write-ahead-log lag.
@@ -676,7 +793,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Draining = true
 	}
 	for name, d := range s.datasets {
-		st := d.queue.Stats()
+		cs := d.active.Load()
+		st := cs.queue.Stats()
 		resp.QueueDepth += st.Depth
 		resp.Running += st.Running
 		resp.Datasets[name] = DatasetHealth{
@@ -688,7 +806,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Rejected:      st.Rejected,
 			Completed:     st.Completed,
 			Failed:        st.Failed,
-			CorpusScripts: d.sys.Stats().Scripts,
+			CorpusScripts: cs.sys.Stats().Scripts,
+			CorpusVersion: cs.version,
 		}
 	}
 	if s.store != nil {
@@ -747,6 +866,9 @@ func (s *Server) status(rec *jobRecord) JobStatus {
 		IdempotencyKey: rec.idemKey,
 		SubmittedAt:    rec.submitted,
 	}
+	if rec.corpus != nil {
+		st.CorpusVersion = rec.corpus.version
+	}
 	if rec.job != nil && rec.job.State() == lucidscript.JobRunning {
 		st.State = StateRunning
 	} else {
@@ -764,6 +886,7 @@ func statusFromRecord(rec *store.Record) *JobStatus {
 		Code:           rec.Code,
 		Error:          rec.Error,
 		IdempotencyKey: rec.IdempotencyKey,
+		CorpusVersion:  rec.CorpusVersion,
 		SubmittedAt:    rec.SubmittedAt,
 	}
 	if !rec.FinishedAt.IsZero() {

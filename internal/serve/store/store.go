@@ -81,6 +81,10 @@ type Record struct {
 	Script  string `json:"script"`
 	// IdempotencyKey is the client's dedup key, empty when none was sent.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// CorpusVersion is the registry snapshot version the job was admitted
+	// against, 0 for unversioned corpora. Absent in logs written before
+	// corpus versioning existed, which decodes as 0 — the same meaning.
+	CorpusVersion int64 `json:"corpus_version,omitempty"`
 	// State is one of the State* constants; Code and Error qualify the
 	// failed/canceled/interrupted states.
 	State string `json:"state"`

@@ -35,6 +35,7 @@ import (
 	"lucidscript/internal/intent"
 	"lucidscript/internal/interp"
 	"lucidscript/internal/obs"
+	"lucidscript/internal/registry"
 	"lucidscript/internal/script"
 )
 
@@ -799,6 +800,37 @@ func LoadSystem(r io.Reader, sources map[string]*Frame, opts Options) (*System, 
 	}
 	return sys, nil
 }
+
+// NewSystemFromRegistry builds a System over a corpus registry snapshot
+// plus the input dataset: the registry's already-folded search space is
+// installed directly (curation is never re-run), and the snapshot's
+// version is stamped onto the corpus so serving layers can report — and
+// fault keys can include — exactly which corpus generation a job ran
+// against. Options apply as in NewSystem. The registry's vocabulary is
+// immutable, so the System stays valid even as the registry itself moves
+// to newer versions.
+func NewSystemFromRegistry(reg *registry.Registry, sources map[string]*Frame, opts Options) (*System, error) {
+	vocab := reg.Vocab()
+	placeholder, err := ParseScript("import pandas as pd")
+	if err != nil {
+		return nil, err
+	}
+	sys, err := NewSystem([]*Script{placeholder}, sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	sys.std.Corpus.Vocab = vocab
+	sys.std.Corpus.Version = reg.Version()
+	if opts.Auto {
+		seq, k := core.AutoConfig(vocab.NumScripts, vocab.NumUniqueEdges())
+		sys.std.Config.SeqLength, sys.std.Config.BeamSize = seq, k
+	}
+	return sys, nil
+}
+
+// CorpusVersion reports the registry snapshot version this System's corpus
+// came from, 0 when the corpus was curated in-process and never versioned.
+func (s *System) CorpusVersion() int64 { return s.std.Corpus.Version }
 
 // Anomaly flags one out-of-the-ordinary step of a script.
 type Anomaly struct {

@@ -96,6 +96,13 @@ func (jq *JobQueue) SubmitObserved(ctx context.Context, sc *Script, observe func
 // completes.
 func (jq *JobQueue) Close() { jq.q.Close() }
 
+// Drain stops admission but — unlike Close — runs every already-admitted
+// job to completion before returning. It is the corpus hot-swap retirement
+// path: after a server swaps in a queue over a new corpus version, the old
+// queue drains so its jobs finish on the version they were admitted
+// against. Idempotent, and safe to call concurrently with Close.
+func (jq *JobQueue) Drain() { jq.q.Drain() }
+
 // Stats snapshots the queue's admission state for health endpoints.
 func (jq *JobQueue) Stats() QueueStats { return jq.q.Stats() }
 
